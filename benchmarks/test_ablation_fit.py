@@ -1,0 +1,68 @@
+"""ABLATION — address-ordered first fit vs best fit (§3.2 item 2).
+
+"The library uses an address-ordered first fit allocator, which shows
+best performance values due to a good locality (see [12])."
+
+Compares allocation time and locality (spread of returned addresses)
+over a mixed-size workload for both fit policies.
+"""
+
+import pytest
+
+from conftest import emit
+import numpy as np
+
+from repro.alloc import HugepageLibraryAllocator, HugepageLibraryConfig
+from repro.analysis.report import Table
+from repro.mem import AddressSpace, HugeTLBfs, PhysicalMemory
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def run_fit_ablation():
+    rng = np.random.default_rng(99)
+    sizes = [int(rng.integers(32 * KB, 2 * MB)) for _ in range(300)]
+    out = {}
+    for policy in ("first", "best"):
+        pm = PhysicalMemory(2048 * MB, hugepages=512)
+        aspace = AddressSpace(pm, HugeTLBfs(pm))
+        lib = HugepageLibraryAllocator(
+            aspace, config=HugepageLibraryConfig(fit_policy=policy)
+        )
+        live = []
+        addresses = []
+        for i, size in enumerate(sizes):
+            p = lib.malloc(size)
+            addresses.append(p)
+            live.append(p)
+            if i % 3 == 2:  # free every third allocation (fragmentation)
+                lib.free(live.pop(int(rng.integers(0, len(live)))))
+        spread = max(addresses) - min(addresses)
+        out[policy] = (lib.stats.total_ns, spread, lib.hugepages_mapped)
+    return out
+
+
+def test_fit_policy_ablation(benchmark):
+    out = benchmark.pedantic(run_fit_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        ["policy", "alloc time [us]", "address spread [MB]", "hugepages"],
+        title="ABLATION fit policy: address-ordered first fit vs best fit",
+    )
+    for policy, (ns, spread, pages) in out.items():
+        table.add_row([policy, ns / 1000, spread / MB, pages])
+    emit("\n" + table.render())
+
+    first_ns, first_spread, _ = out["first"]
+    best_ns, best_spread, _ = out["best"]
+
+    # first fit's scans stop early; even when fragmentation patterns
+    # differ between the policies it stays in the same ballpark
+    assert first_ns <= 1.3 * best_ns
+    # address-ordered first fit packs low addresses: locality no worse
+    assert first_spread <= 1.2 * best_spread
+
+    benchmark.extra_info["first_fit_time_advantage_pct"] = round(
+        (1 - first_ns / best_ns) * 100, 1
+    )

@@ -1,0 +1,96 @@
+"""ABLATION — registration-cache capacity sensitivity.
+
+§1 names the lazy-deregistration drawback: "memory remains allocated to
+the application during their whole runtime".  A bounded cache trades
+that residency for re-registration; this bench sweeps the capacity on a
+working set larger than the cache to expose the cliff, and shows the
+hugepage library pushes the cliff out by shrinking per-registration cost.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import Table
+from repro.core.placement import BufferPlacer, PlacementPolicy
+from repro.mpi import MPIConfig, MPIWorld
+from repro.systems import Cluster, presets
+
+KB = 1024
+MB = 1024 * 1024
+CAPACITIES = [None, 16 * MB, 4 * MB, 1 * MB]
+N_BUFFERS = 8
+MSG = 1 * MB
+
+
+def run_once(capacity, hugepages):
+    cluster = Cluster(presets.opteron_infinihost_pcie(), 2)
+    world = MPIWorld(cluster, ppn=1,
+                     config=MPIConfig(lazy_dereg=True,
+                                      regcache_capacity=capacity))
+    out = {}
+
+    def program(comm):
+        placer = BufferPlacer(comm.proc)
+        policy = (PlacementPolicy.HUGE_PAGES if hugepages
+                  else PlacementPolicy.SMALL_PAGES)
+        bufs = [placer.place(MSG, policy, offset=0) for _ in range(N_BUFFERS)]
+        other = 1 - comm.rank
+        t0 = comm.kernel.now
+        for round_ in range(3):
+            for buf in bufs:  # cycle the working set through the cache
+                yield from comm.sendrecv(other, 8, MSG, source=other,
+                                         recvtag=8, send_addr=buf.addr,
+                                         recv_addr=buf.addr)
+        if comm.rank == 0:
+            out["ticks"] = comm.kernel.now - t0
+            out["misses"] = comm.endpoint.regcache.misses
+            out["cached"] = comm.endpoint.regcache.cached_bytes
+        return None
+
+    world.run(program)
+    return out
+
+
+def run_regcache_ablation():
+    return {
+        (cap, hp): run_once(cap, hp)
+        for cap in CAPACITIES
+        for hp in (False, True)
+    }
+
+
+def test_regcache_capacity_ablation(benchmark):
+    results = benchmark.pedantic(run_regcache_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        ["capacity", "pages", "ticks", "reg misses", "pinned bytes [MB]"],
+        title="ABLATION regcache: capacity sweep, 8 x 1 MB working set",
+    )
+    for cap in CAPACITIES:
+        for hp in (False, True):
+            r = results[(cap, hp)]
+            table.add_row([
+                "unbounded" if cap is None else f"{cap // MB} MB",
+                "2M" if hp else "4K", r["ticks"], r["misses"],
+                r["cached"] / MB,
+            ])
+    emit("\n" + table.render())
+
+    # unbounded cache: one registration per buffer, then pure hits
+    assert results[(None, False)]["misses"] <= 2 * N_BUFFERS
+    # the §1 drawback: the unbounded cache pins the whole working set
+    assert results[(None, False)]["cached"] >= N_BUFFERS * MSG
+
+    # a cache smaller than the working set thrashes
+    assert results[(4 * MB, False)]["misses"] > 2 * results[(None, False)]["misses"]
+    assert results[(4 * MB, False)]["ticks"] > results[(None, False)]["ticks"]
+
+    # hugepages shrink each re-registration, so the cliff is gentler
+    small_cliff = (results[(4 * MB, False)]["ticks"]
+                   / results[(None, False)]["ticks"])
+    huge_cliff = (results[(4 * MB, True)]["ticks"]
+                  / results[(None, True)]["ticks"])
+    assert huge_cliff < small_cliff
+
+    benchmark.extra_info["small_page_cliff"] = round(small_cliff, 3)
+    benchmark.extra_info["hugepage_cliff"] = round(huge_cliff, 3)

@@ -1,0 +1,63 @@
+"""ABLATION — SGE aggregation vs separate sends vs CPU pack (§4, §7).
+
+The paper proposes mapping MPI_Pack-style aggregation onto the
+InfiniBand scatter-gather interface.  This bench measures, at the verbs
+level, the three ways to move a batch of k small buffers and checks the
+planner (:func:`repro.core.sge.plan_aggregation`) agrees with the
+simulation.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import Table
+from repro.core.sge import AggregationStrategy, plan_aggregation
+from repro.workloads.verbs_micro import measure_send
+
+BATCHES = [2, 4, 8, 16, 64]
+ELEMENT = 128  # bytes, the paper's aggregation sweet spot
+
+
+def run_sge_ablation():
+    one = measure_send(sges=1, sge_size=ELEMENT)
+    out = {}
+    for k in BATCHES:
+        sge = measure_send(sges=k, sge_size=ELEMENT)
+        out[k] = {
+            "separate": k * one.total_ticks,
+            "sge": sge.total_ticks,
+            # CPU pack: one send of k*ELEMENT plus the copy (charged at
+            # the planner's small-copy rate: 80 ns/block + 0.8 ns/B,
+            # in System p ticks)
+            "pack": measure_send(sges=1, sge_size=k * ELEMENT).total_ticks
+            + int((k * 80 + k * ELEMENT * 0.8) * 0.20625),
+        }
+    return one, out
+
+
+def test_sge_aggregation_ablation(benchmark):
+    one, out = benchmark.pedantic(run_sge_ablation, rounds=1, iterations=1)
+
+    table = Table(
+        ["batch", "separate sends", "one WR + SGE list", "CPU pack"],
+        title=f"ABLATION SGE: {ELEMENT} B elements, total ticks per batch",
+    )
+    for k in BATCHES:
+        table.add_row([k, out[k]["separate"], out[k]["sge"], out[k]["pack"]])
+    emit("\n" + table.render())
+
+    for k in BATCHES:
+        # the §4 pitch: aggregation amortises the per-WR overheads
+        assert out[k]["sge"] < out[k]["separate"], k
+        # and the advantage grows with batch size
+    gain4 = out[4]["separate"] / out[4]["sge"]
+    gain64 = out[64]["separate"] / out[64]["sge"]
+    assert gain64 > gain4 > 1.5
+
+    # the cost-model planner picks SGE for these batches too
+    for k in (4, 8, 16):
+        plan = plan_aggregation([ELEMENT] * k)
+        assert plan.strategy is AggregationStrategy.SGE_LIST, k
+
+    benchmark.extra_info["gain_at_4"] = round(gain4, 2)
+    benchmark.extra_info["gain_at_64"] = round(gain64, 2)

@@ -1,0 +1,71 @@
+"""FIG3 — work-request duration vs SGE size for 1/2/4/8 SGEs.
+
+Regenerates Fig 3 ("send operations with different number of scatter
+gather elements", System p / eHCA, TBR ticks) plus the §4 text claims:
+post constant over 1 B–64 KB, 128 SGEs ≈ 3× one SGE (post), 4 SGEs at
+≤128 B ≤ 14 % more costly end to end.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import Table, format_series
+from repro.workloads.verbs_micro import measure_send
+
+SGE_COUNTS = [1, 2, 4, 8]
+SGE_SIZES = [1, 8, 32, 64, 128, 256, 512, 1024, 2048]
+
+
+def run_fig3():
+    results = {}
+    for n in SGE_COUNTS:
+        for size in SGE_SIZES:
+            results[(n, size)] = measure_send(sges=n, sge_size=size)
+    results[(128, 64)] = measure_send(sges=128, sge_size=64)
+    results[(1, 65536)] = measure_send(sges=1, sge_size=65536)
+    return results
+
+
+def test_fig3_sge_duration(benchmark):
+    results = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+
+    table = Table(["SGE size"] + [f"{n} SGEs" for n in SGE_COUNTS],
+                  title="FIG3: work request duration [TBR ticks] (System p)")
+    for size in SGE_SIZES:
+        table.add_row([size] + [results[(n, size)].total_ticks for n in SGE_COUNTS])
+    emit("\n" + table.render())
+    for n in SGE_COUNTS:
+        emit(format_series(
+            f"{n}-sge", SGE_SIZES,
+            [results[(n, s)].total_ticks for s in SGE_SIZES],
+            x_label="sge_size[B]", y_label="ticks",
+        ))
+
+    base = results[(1, 64)]
+    post_1 = base.post_ticks
+    post_128 = results[(128, 64)].post_ticks
+
+    # §4: post cost approximately constant 1 B - 64 KB
+    posts = [results[(1, s)].post_ticks for s in SGE_SIZES] + [
+        results[(1, 65536)].post_ticks
+    ]
+    assert max(posts) == min(posts), "post cost must be size-independent"
+    assert 150 <= post_1 <= 950  # "varies between 230-950 TBR ticks"
+
+    # §4: 128 SGEs only ~3x one SGE
+    assert 2.0 < post_128 / post_1 < 4.0
+
+    # §4: 4 SGEs of <=128 B cost <= ~14 % more than 1 SGE
+    for size in (8, 32, 64, 128):
+        ratio = results[(4, size)].total_ticks / results[(1, size)].total_ticks
+        assert ratio < 1.16, f"4 SGEs at {size} B: {ratio:.3f}"
+
+    # §4: 1-SGE curve constant to 512 B, then linear
+    assert results[(1, 512)].total_ticks < 1.3 * results[(1, 1)].total_ticks
+    assert results[(1, 2048)].total_ticks > 1.15 * results[(1, 512)].total_ticks
+
+    benchmark.extra_info["post_1sge_ticks"] = post_1
+    benchmark.extra_info["post_128sge_over_1sge"] = round(post_128 / post_1, 2)
+    benchmark.extra_info["4sge_64B_overhead_pct"] = round(
+        (results[(4, 64)].total_ticks / base.total_ticks - 1) * 100, 1
+    )

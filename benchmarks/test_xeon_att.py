@@ -1,0 +1,75 @@
+"""XEON6 — the §5.1 Xeon driver-patch experiment.
+
+"We repeated our measurements on an Intel Xeon with lazy deregistration
+enabled and hugepage mapped buffers: One time, we used the unmodified
+OpenIB driver, so the adapter saw 4 KB pages, another time the modified
+OpenIB driver was used and 2 MB pages were sent.  The bandwidth with
+2 MB pages increased up to 6 %, what could be due to less ATT misses on
+the InfiniHost adapter in this system."
+
+Regenerated as two hugepage-buffer IMB sweeps on the Xeon preset with
+the driver patch off/on, plus the Opteron control where PCIe slack hides
+the stalls entirely.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.report import Table
+from repro.systems import presets
+from repro.workloads.imb import SendRecvBenchmark
+
+KB = 1024
+MB = 1024 * 1024
+SIZES = [64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB]
+
+
+def run_xeon():
+    xeon = SendRecvBenchmark(presets.xeon_infinihost_pcix)
+    opteron = SendRecvBenchmark(presets.opteron_infinihost_pcie)
+    return {
+        "xeon stock": xeon.run(SIZES, hugepages=True, lazy_dereg=True,
+                               driver_hugepage_aware=False),
+        "xeon patched": xeon.run(SIZES, hugepages=True, lazy_dereg=True,
+                                 driver_hugepage_aware=True),
+        "opteron stock": opteron.run(SIZES, hugepages=True, lazy_dereg=True,
+                                     driver_hugepage_aware=False),
+        "opteron patched": opteron.run(SIZES, hugepages=True, lazy_dereg=True,
+                                       driver_hugepage_aware=True),
+    }
+
+
+def test_xeon_driver_patch_gain(benchmark):
+    sweeps = benchmark.pedantic(run_xeon, rounds=1, iterations=1)
+
+    table = Table(
+        ["size [KB]", "Xeon 4K->HCA", "Xeon 2M->HCA", "gain %",
+         "Opteron 4K->HCA", "Opteron 2M->HCA"],
+        title="XEON6: hugepage buffers, stock vs patched driver [MB/s]",
+    )
+    for size in SIZES:
+        stock = sweeps["xeon stock"].bandwidth_at(size)
+        patched = sweeps["xeon patched"].bandwidth_at(size)
+        table.add_row([
+            size // KB, stock, patched, (patched - stock) / stock * 100,
+            sweeps["opteron stock"].bandwidth_at(size),
+            sweeps["opteron patched"].bandwidth_at(size),
+        ])
+    emit("\n" + table.render())
+
+    gains = [
+        (sweeps["xeon patched"].bandwidth_at(s) - sweeps["xeon stock"].bandwidth_at(s))
+        / sweeps["xeon stock"].bandwidth_at(s) * 100
+        for s in SIZES
+        if s >= 256 * KB
+    ]
+    # "increased up to 6 %": visible, single-digit gain on the PCI-X box
+    assert 2.0 < max(gains) < 8.0
+
+    # the Opteron control: PCIe slack hides the ATT stalls completely
+    for s in (1 * MB, 4 * MB):
+        a = sweeps["opteron stock"].bandwidth_at(s)
+        b = sweeps["opteron patched"].bandwidth_at(s)
+        assert abs(a - b) / a < 0.02
+
+    benchmark.extra_info["xeon_max_gain_pct"] = round(max(gains), 1)

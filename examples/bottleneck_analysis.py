@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Bottleneck analysis: where does one message's time actually go?
+
+§6 of the paper ends with "we believe that with a further analysis,
+remaining bottlenecks can be made visible".  This example uses the
+analytic breakdown tool to decompose a 4 MB RDMA-rendezvous message into
+its pipeline components for each placement/caching configuration, making
+it obvious which knob matters where.
+
+Run:  python examples/bottleneck_analysis.py [size_mb]
+"""
+
+import sys
+
+from repro.analysis.breakdown import breakdown_rdma_message
+from repro.analysis.report import Table
+from repro.mem.physical import PAGE_2M, PAGE_4K
+from repro.systems import presets
+
+MB = 1024 * 1024
+
+CONFIGS = [
+    ("4K pages, cold", PAGE_4K, False, False),
+    ("2M pages, cold", PAGE_2M, False, False),
+    ("4K pages, regcache hit", PAGE_4K, True, False),
+    ("2M pages, regcache hit", PAGE_2M, True, False),
+    ("2M pages, regcache + warm ATT", PAGE_2M, True, True),
+]
+
+COMPONENTS = ["post_ns", "registration_ns", "wqe_fetch_ns", "gather_ns",
+              "wire_ns", "scatter_ns", "completion_ns"]
+
+
+def main() -> None:
+    size = int(float(sys.argv[1]) * MB) if len(sys.argv) > 1 else 4 * MB
+    for machine, factory in (("opteron", presets.opteron_infinihost_pcie),
+                             ("xeon", presets.xeon_infinihost_pcix)):
+        spec = factory()
+        table = Table(
+            ["configuration"] + [c.replace("_ns", "") + " [us]"
+                                 for c in COMPONENTS] + ["pipeline [us]"],
+            title=f"{machine}: one {size // MB} MB RDMA message, by component",
+        )
+        for label, page_size, cached, warm in CONFIGS:
+            b = breakdown_rdma_message(spec, size, page_size,
+                                       registration_cached=cached,
+                                       att_warm=warm)
+            table.add_row([label]
+                          + [getattr(b, c) / 1000 for c in COMPONENTS]
+                          + [b.critical_path_ns / 1000])
+        # and the full §5.1 recipe: hugepages + patched driver
+        patched = factory(hugepage_aware_driver=True)
+        b = breakdown_rdma_message(patched, size, PAGE_2M,
+                                   registration_cached=True, att_warm=True)
+        table.add_row(["2M, patched driver, all caches"]
+                      + [getattr(b, c) / 1000 for c in COMPONENTS]
+                      + [b.critical_path_ns / 1000])
+        print(table.render())
+        cold4k = breakdown_rdma_message(spec, size, PAGE_4K)
+        print(f"  dominant cold-4K component on {machine}: "
+              f"{cold4k.dominant().replace('_ns', '')}\n")
+
+    print(
+        "Reading guide: on cold 4K pages, registration rivals the wire\n"
+        "time itself — that is Fig 5's no-lazy-dereg penalty.  2M pages\n"
+        "erase it.  The gather/scatter columns carry the ATT stalls:\n"
+        "on the Xeon they exceed the wire time (the bus is the\n"
+        "bottleneck), which is why only that machine rewards the\n"
+        "driver patch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Driver-patch study: why the same patch helps one machine and not another.
+
+The paper patched the OpenIB driver to report hugepages to the adapter
+(the patch went to the OpenIB list in August 2006) and saw +6 % bandwidth
+— but only on the Xeon/PCI-X system, not the Opteron/PCIe one.  This
+example shows the mechanism: the adapter's translation-cache (ATT) misses
+stall the I/O bus, and whether that matters depends on which resource is
+the bottleneck.
+
+Run:  python examples/driver_patch_study.py
+"""
+
+from repro.analysis.report import Table
+from repro.systems import Cluster, presets
+from repro.workloads.imb import SendRecvBenchmark
+
+MB = 1024 * 1024
+SIZES = [256 * 1024, 1 * MB, 4 * MB]
+
+
+def sweep(machine_name, factory):
+    bench = SendRecvBenchmark(factory)
+    stock = bench.run(SIZES, hugepages=True, lazy_dereg=True,
+                      driver_hugepage_aware=False)
+    patched = bench.run(SIZES, hugepages=True, lazy_dereg=True,
+                        driver_hugepage_aware=True)
+    return stock, patched
+
+
+def main() -> None:
+    table = Table(
+        ["machine", "bus", "size [KB]", "stock [MB/s]", "patched [MB/s]",
+         "gain %"],
+        title="Hugepage buffers + lazy dereg: stock vs patched OpenIB driver",
+    )
+    for name, factory in (
+        ("xeon", presets.xeon_infinihost_pcix),
+        ("opteron", presets.opteron_infinihost_pcie),
+    ):
+        spec = factory()
+        stock, patched = sweep(name, factory)
+        for size in SIZES:
+            a, b = stock.bandwidth_at(size), patched.bandwidth_at(size)
+            table.add_row([name, spec.bus.name, size // 1024, a, b,
+                           (b - a) / a * 100])
+    print(table.render())
+
+    # show the ATT traffic behind the numbers
+    print("\nATT pressure for one 4 MB transfer:")
+    for aware in (False, True):
+        cluster = Cluster(presets.xeon_infinihost_pcix(
+            hugepage_aware_driver=aware), 2)
+        node = cluster.nodes[0]
+        proc = node.new_process()
+        from repro.ib.verbs import ProtectionDomain
+        from repro.mem.physical import PAGE_2M
+
+        vma = proc.aspace.mmap(4 * MB, page_size=PAGE_2M)
+        mr, _ = node.reg_engine.register(proc.aspace, ProtectionDomain.fresh(),
+                                         vma.start, 4 * MB)
+        print(f"  driver patched={aware}: {mr.n_entries} translation entries "
+              f"({mr.entry_page_size // 1024} KB each) -> the 64-entry ATT "
+              f"cache {'holds them all' if mr.n_entries <= 64 else 'thrashes'}")
+
+    print(
+        "\nOn PCI-X (half-duplex, ~900 MB/s) the bus is the transfer\n"
+        "bottleneck, so every ATT-miss stall lengthens it: the patch's\n"
+        "512x entry reduction shows up as bandwidth.  On PCIe x8 the bus\n"
+        "has ~2x slack over the 940 MB/s link, the stalls hide inside\n"
+        "it, and the patch changes nothing — which is exactly what the\n"
+        "paper measured on the two systems."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""NAS hugepage study: reproduce the Fig 6 decomposition interactively.
+
+Preloads the paper's hugepage library onto every MPI rank (the simulated
+LD_PRELOAD) and runs the mini NAS kernels on 2 nodes x 4 processes,
+printing communication / computation / overall improvements and the
+PAPI-style TLB miss counts — the full §5.2 story.
+
+Run:  python examples/nas_hugepage_study.py [kernel ...]
+      (default: all of CG EP IS LU MG at class W; pass e.g. "CG B"
+       for a bigger class)
+"""
+
+import sys
+
+from repro.analysis.report import Table
+from repro.systems import presets
+from repro.workloads.nas import KERNELS
+from repro.workloads.nas.common import compare_hugepages
+
+
+def main() -> None:
+    args = [a.upper() for a in sys.argv[1:]]
+    klass = next((a for a in args if a in ("W", "B", "C")), "W")
+    names = [a for a in args if a in KERNELS] or list(KERNELS)
+
+    table = Table(
+        ["kernel", "comm impr. %", "other impr. %", "overall %", "TLB miss x",
+         "verified"],
+        title=f"NAS class {klass}, AMD Opteron, 2 nodes x 4 ranks: "
+              "preloaded hugepage library vs small pages",
+    )
+    for name in names:
+        c = compare_hugepages(KERNELS[name], presets.opteron_infinihost_pcie(),
+                              klass=klass, nas_hugepage_pool=720)
+        table.add_row([
+            name, c.comm_improvement_pct, c.other_improvement_pct,
+            c.overall_improvement_pct, c.tlb_miss_ratio,
+            c.small.verified and c.huge.verified,
+        ])
+        print(f"  {name}: done")
+    print()
+    print(table.render())
+    print(
+        "\nReading guide: communication gains come from cheaper memory\n"
+        "registration (the library never unmaps on free, so the MPI\n"
+        "pin-down cache stays warm); 'other' gains come from the\n"
+        "prefetcher streaming across physically contiguous hugepages;\n"
+        "TLB miss *counts* rise wherever more regions rotate than the\n"
+        "8-entry hugepage TLB holds (except LU's few long streams) —\n"
+        "but each hugepage walk is cheap, so the counts do not hurt."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — simulation-based reproduction of the CLUSTER 2006 paper
+*Improving Communication Performance on InfiniBand by Using Efficient
+Data Placement Strategies* (Rex, Mietke, Rehm, Raisch, Nguyen).
+
+The package models, in pure Python, every layer the paper touches:
+
+- :mod:`repro.engine` — a discrete-event simulation kernel (the clock all
+  results are measured against, in TBR ticks).
+- :mod:`repro.mem` — a virtual-memory substrate: physical frames, page
+  tables, mmap/brk, a HugeTLBfs pool, a split TLB and a cache/prefetcher
+  model.
+- :mod:`repro.alloc` — allocators: a glibc-like general-purpose allocator,
+  the paper's three-layer hugepage library, and the libhugetlbfs /
+  libhugepagealloc baselines it compares against.
+- :mod:`repro.ib` — an InfiniBand substrate: verbs objects (PD/MR/QP/CQ),
+  an HCA with an address-translation-table cache and DMA engine, the
+  memory-registration pipeline, and parametric bus models.
+- :mod:`repro.mpi` — an MVAPICH2-like message layer with eager and
+  rendezvous/RDMA protocols and a pin-down registration cache.
+- :mod:`repro.core` — the paper's contribution as a public API: data
+  placement policies, the preloadable hugepage library facade and
+  scatter-gather aggregation strategies.
+- :mod:`repro.systems` — presets for the paper's three test machines.
+- :mod:`repro.workloads` — IMB SendRecv, mini NAS kernels (CG/EP/IS/LU/MG)
+  and an Abinit-like allocation trace.
+- :mod:`repro.analysis` — PAPI-like counters and report formatting.
+
+Quickstart::
+
+    from repro.systems import presets
+    from repro.workloads.imb import SendRecvBenchmark
+
+    bench = SendRecvBenchmark(presets.opteron_infinihost_pcie)
+    result = bench.run(sizes=[65536], hugepages=True, lazy_dereg=False)
+    print(result.rows[0].bandwidth_mb_s)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

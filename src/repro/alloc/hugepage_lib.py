@@ -1,0 +1,243 @@
+"""The paper's hugepage library (§3): a three-layer preloadable allocator.
+
+Layer 1 — **transparency** (this module's facade class): intercepts
+``malloc``/``free``/``calloc``/``realloc``.  Requests *below 32 KB* are
+forwarded to the libc allocator (§3.2 item 1: empirical registration
+measurements favoured small pages there, and hugepage-TLB-poor processors
+punish indiscriminate hugepage use); larger requests go to the management
+layer.
+
+Layer 2 — **mapping** (:class:`MappingLayer`): talks to HugeTLBfs, maps
+hugepages into the process address space and "must leave a reserve of
+hugepages that are needed when forking processes for Copy-on-Write
+reasons".
+
+Layer 3 — **management** (:class:`ManagementLayer`): manages the mapped
+hugepage memory as 4 KB chunks with an address-ordered first-fit free
+list, metadata packed in a dense cache, and no coalescing on ``free()``
+(§3.2 items 2-5; see :mod:`repro.alloc.freelist`).
+
+The layering is strict: the facade only talks to the management layer,
+the management layer only talks to the mapping layer — the paper's
+"strict tier model [that] guarantees an easy interchangeability for each
+module" (§3.1).  The ablation knobs (:attr:`HugepageLibraryConfig.
+fit_policy`, :attr:`~HugepageLibraryConfig.coalesce_on_free`,
+:attr:`~HugepageLibraryConfig.cutoff_bytes`) exist to let the benchmark
+suite quantify each design decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.alloc.base import AllocationError, Allocator, AllocatorCostModel
+from repro.alloc.freelist import CHUNK_SIZE, ChunkFreeList
+from repro.alloc.libc import LibcAllocator
+from repro.mem.address_space import AddressSpace
+from repro.mem.hugetlbfs import HugePagePoolExhausted
+from repro.mem.physical import PAGE_2M
+
+
+@dataclass(frozen=True)
+class HugepageLibraryConfig:
+    """Tunables of the hugepage library.
+
+    Attributes
+    ----------
+    cutoff_bytes:
+        Requests below this go to libc (§3.2 item 1; the paper uses 32 KB).
+    fork_reserve_pages:
+        Hugepages the mapping layer always leaves free (§3.1 layer 2).
+    min_map_pages:
+        Smallest number of hugepages mapped per growth (mapping
+        hysteresis; 1 = map exactly what is needed).
+    coalesce_on_free:
+        False per the paper (§3.2 item 5); True is the ablation variant.
+    fit_policy:
+        ``"first"`` (paper, address-ordered first fit) or ``"best"``
+        (ablation).
+    """
+
+    cutoff_bytes: int = 32 * 1024
+    fork_reserve_pages: int = 2
+    min_map_pages: int = 1
+    coalesce_on_free: bool = False
+    fit_policy: str = "first"
+
+    def __post_init__(self):
+        if self.cutoff_bytes < CHUNK_SIZE:
+            raise ValueError("cutoff below chunk size makes no sense")
+        if self.fit_policy not in ("first", "best"):
+            raise ValueError(f"unknown fit policy {self.fit_policy!r}")
+        if self.min_map_pages < 1:
+            raise ValueError("min_map_pages must be >= 1")
+        if self.fork_reserve_pages < 0:
+            raise ValueError("fork_reserve_pages must be >= 0")
+
+
+class MappingLayer:
+    """Layer 2: maps/unmaps hugepages via hugetlbfs, honouring the
+    fork/CoW reserve."""
+
+    def __init__(self, aspace: AddressSpace, config: HugepageLibraryConfig,
+                 cost: AllocatorCostModel):
+        self.aspace = aspace
+        self.config = config
+        self.cost = cost
+        self.pages_mapped = 0
+
+    def map_pages(self, n_pages: int) -> Tuple[int, int, float]:
+        """Map *n_pages* hugepages; returns ``(vaddr, length, cost_ns)``.
+
+        Raises :class:`~repro.mem.HugePagePoolExhausted` when granting the
+        request would eat into the fork reserve.
+        """
+        n_pages = max(n_pages, self.config.min_map_pages)
+        vma = self.aspace.mmap(
+            n_pages * PAGE_2M,
+            page_size=PAGE_2M,
+            name="hugepage-lib",
+            keep_hugepage_reserve=self.config.fork_reserve_pages,
+        )
+        self.pages_mapped += n_pages
+        ns = self.cost.syscall_ns + self.cost.populate_ns(PAGE_2M, n_pages)
+        return vma.start, vma.length, ns
+
+
+class ManagementLayer:
+    """Layer 3: chunked first-fit management of the mapped hugepages."""
+
+    def __init__(self, mapping: MappingLayer, config: HugepageLibraryConfig,
+                 cost: AllocatorCostModel):
+        self.mapping = mapping
+        self.config = config
+        self.cost = cost
+        self.freelist = ChunkFreeList()
+        self._live: Dict[int, int] = {}  # vaddr -> n_chunks
+
+    def _take(self, n_chunks: int) -> Tuple[Optional[int], int]:
+        if self.config.fit_policy == "best":
+            return self.freelist.take_best_fit(n_chunks)
+        return self.freelist.take_first_fit(n_chunks)
+
+    def alloc(self, nbytes: int) -> Tuple[int, float]:
+        """Allocate *nbytes* from hugepage memory; returns (vaddr, ns)."""
+        n_chunks = ChunkFreeList.chunks_for(nbytes)
+        ns = 0.0
+        vaddr, visited = self._take(n_chunks)
+        ns += visited * self.cost.packed_node_visit_ns
+        if vaddr is None:
+            # §3.2 item 5: coalescing is deferred to allocation failure
+            merges, swept = self.freelist.coalesce()
+            ns += swept * self.cost.packed_node_visit_ns
+            if merges:
+                vaddr, visited = self._take(n_chunks)
+                ns += visited * self.cost.packed_node_visit_ns
+        if vaddr is None:
+            pages = (n_chunks * CHUNK_SIZE + PAGE_2M - 1) // PAGE_2M
+            start, length, map_ns = self.mapping.map_pages(pages)
+            ns += map_ns
+            ns += self.freelist.insert(start, length // CHUNK_SIZE) * \
+                self.cost.packed_node_visit_ns
+            vaddr, visited = self._take(n_chunks)
+            ns += visited * self.cost.packed_node_visit_ns
+            if vaddr is None:  # pragma: no cover - defensive
+                raise AllocationError("management layer lost a fresh region")
+        self._live[vaddr] = n_chunks
+        return vaddr, ns
+
+    def free(self, vaddr: int) -> float:
+        """Return an allocation's chunks to the free list."""
+        n_chunks = self._live.pop(vaddr, None)
+        if n_chunks is None:
+            raise AllocationError(f"management layer does not own {vaddr:#x}")
+        ns = self.freelist.insert(vaddr, n_chunks) * self.cost.packed_node_visit_ns
+        if self.config.coalesce_on_free:
+            merges, swept = self.freelist.coalesce()
+            ns += swept * self.cost.packed_node_visit_ns
+        return ns
+
+    def owns(self, vaddr: int) -> bool:
+        """True if *vaddr* is a live management-layer allocation."""
+        return vaddr in self._live
+
+
+class HugepageLibraryAllocator(Allocator):
+    """Layer 1 (transparency) + the full stack: the paper's library.
+
+    Preloading semantics: construct one per process with the process's
+    libc allocator; every ``malloc`` the application makes goes through
+    :meth:`malloc` here, exactly like an ``LD_PRELOAD`` interposition.
+    """
+
+    name = "hugepage_lib"
+
+    def __init__(
+        self,
+        aspace: AddressSpace,
+        libc: Optional[LibcAllocator] = None,
+        config: Optional[HugepageLibraryConfig] = None,
+        cost_model: Optional[AllocatorCostModel] = None,
+        counters=None,
+    ):
+        super().__init__(cost_model, counters)
+        self.aspace = aspace
+        self.config = config if config is not None else HugepageLibraryConfig()
+        self.libc = libc if libc is not None else LibcAllocator(
+            aspace, cost_model=self.cost, counters=self.counters
+        )
+        self.mapping = MappingLayer(aspace, self.config, self.cost)
+        self.management = ManagementLayer(self.mapping, self.config, self.cost)
+        #: symbol-resolution + dispatch overhead per intercepted call
+        self._dispatch_ns = 4.0
+
+    def _malloc(self, size: int) -> Tuple[int, float]:
+        if size < self.config.cutoff_bytes:
+            before = self.libc.stats.malloc_ns
+            vaddr = self.libc.malloc(size)
+            return vaddr, self._dispatch_ns + (self.libc.stats.malloc_ns - before)
+        try:
+            vaddr, ns = self.management.alloc(size)
+        except HugePagePoolExhausted:
+            # a transparent preload library must never fail an
+            # allocation the application could have satisfied: when the
+            # hugepage pool (minus the fork reserve) is dry, fall back
+            # to libc placement
+            self.counters.add(f"alloc.{self.name}.fallback")
+            before = self.libc.stats.malloc_ns
+            vaddr = self.libc.malloc(size)
+            return vaddr, self._dispatch_ns + (self.libc.stats.malloc_ns - before)
+        return vaddr, self._dispatch_ns + ns
+
+    def _free(self, vaddr: int, size: int) -> float:
+        if self.management.owns(vaddr):
+            return self._dispatch_ns + self.management.free(vaddr)
+        before = self.libc.stats.free_ns
+        self.libc.free(vaddr)
+        return self._dispatch_ns + (self.libc.stats.free_ns - before)
+
+    def free(self, vaddr: int) -> None:
+        """Release an allocation — including pointers that libc handed
+        out *before* this library was preloaded (a real LD_PRELOAD
+        interposition must free those through the original libc too)."""
+        if not self.owns(vaddr) and self.libc.owns(vaddr):
+            self.libc.free(vaddr)
+            return
+        super().free(vaddr)
+
+    def allocation_size(self, vaddr: int) -> int:
+        """Size of a live allocation, wherever it was made."""
+        if not self.owns(vaddr) and self.libc.owns(vaddr):
+            return self.libc.allocation_size(vaddr)
+        return super().allocation_size(vaddr)
+
+    # -- placement introspection (used by tests and benchmarks) -----------
+    def is_hugepage_backed(self, vaddr: int) -> bool:
+        """True if the allocation at *vaddr* lives in hugepages."""
+        return self.management.owns(vaddr)
+
+    @property
+    def hugepages_mapped(self) -> int:
+        """Hugepages the mapping layer has mapped so far."""
+        return self.mapping.pages_mapped

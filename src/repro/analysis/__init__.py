@@ -1,0 +1,17 @@
+"""Measurement support: PAPI-like counters, report formatting, and
+communication-cost breakdowns."""
+
+from repro.analysis.counters import CounterSet
+from repro.analysis.report import Table, format_series
+
+__all__ = ["CounterSet", "Table", "format_series"]
+
+
+def __getattr__(name):
+    # breakdown pulls in repro.systems; import lazily to avoid a cycle
+    if name in ("MessageBreakdown", "breakdown_rdma_message",
+                "placement_comparison"):
+        from repro.analysis import breakdown
+
+        return getattr(breakdown, name)
+    raise AttributeError(name)

@@ -1,0 +1,144 @@
+"""Communication-cost breakdowns: making the remaining bottlenecks visible.
+
+§6 closes with "we believe that with a further analysis, remaining
+bottlenecks can be made visible" — this module is that analysis tool.
+It decomposes one message's end-to-end cost into the pipeline components
+the simulator charges (post, registration, WQE fetch, gather, wire,
+scatter, completion), using exactly the same cost models, so a user can
+see *where* a configuration spends its time and what a placement change
+would buy before running a full simulation.
+
+The decomposition is analytic (steady-state, cold ATT for the page-count
+dependent parts), so it is instantaneous; the simulator remains the
+ground truth for contention effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+from repro.ib.hca import HCAConfig
+from repro.mem.physical import PAGE_2M, PAGE_4K
+from repro.systems.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class MessageBreakdown:
+    """Per-component cost of one message (nanoseconds)."""
+
+    post_ns: float
+    registration_ns: float
+    wqe_fetch_ns: float
+    gather_ns: float
+    wire_ns: float
+    scatter_ns: float
+    completion_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        """Sum of the serial components (upper bound: the simulator
+        overlaps gather/wire/scatter)."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    @property
+    def critical_path_ns(self) -> float:
+        """Pipeline estimate: overlapped gather/wire/scatter."""
+        return (
+            self.post_ns
+            + self.registration_ns
+            + self.wqe_fetch_ns
+            + max(self.gather_ns, self.wire_ns, self.scatter_ns)
+            + self.completion_ns
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        """Each component's share of the serial total."""
+        total = self.total_ns
+        if total <= 0:
+            return {f.name: 0.0 for f in fields(self)}
+        return {f.name: getattr(self, f.name) / total for f in fields(self)}
+
+    def dominant(self) -> str:
+        """The costliest component's name."""
+        return max(fields(self), key=lambda f: getattr(self, f.name)).name
+
+
+def breakdown_rdma_message(
+    spec: MachineSpec,
+    size: int,
+    page_size: int = PAGE_4K,
+    registration_cached: bool = False,
+    att_warm: bool = False,
+    hca: Optional[HCAConfig] = None,
+) -> MessageBreakdown:
+    """Decompose one RDMA-rendezvous message on machine *spec*.
+
+    ``registration_cached`` models a lazy-deregistration hit (both
+    sides); ``att_warm`` models a repeated transfer whose translations
+    are resident (only possible when they fit the ATT cache).
+    """
+    if size <= 0:
+        raise ValueError(f"message size must be positive, got {size}")
+    if page_size not in (PAGE_4K, PAGE_2M):
+        raise ValueError(f"unsupported page size {page_size}")
+    hca = hca if hca is not None else spec.hca
+    bus, link, reg, att = spec.bus, spec.link, spec.reg_costs, spec.att
+
+    # post: WQE build + doorbell
+    post = hca.post_base_ns + hca.post_per_sge_ns + bus.mmio_write_ns
+
+    # registration (both sides), at the driver-visible entry granularity
+    pages = max(1, (size + page_size - 1) // page_size)
+    entries = pages if (spec.hugepage_aware_driver or page_size == PAGE_4K) \
+        else pages * (PAGE_2M // PAGE_4K)
+    if registration_cached:
+        registration = 0.0
+    else:
+        pin = reg.per_4k_pin_ns if page_size == PAGE_4K else reg.per_2m_pin_ns
+        one_side = (reg.base_ns + pages * (pin + reg.per_page_translate_ns)
+                    + entries * reg.per_entry_upload_ns)
+        registration = 2 * one_side
+
+    wqe_bytes = 64 + 16
+    wqe_fetch = bus.read_latency_ns + (
+        (wqe_bytes + bus.burst_bytes - 1) // bus.burst_bytes
+    ) * bus.burst_ns
+
+    att_misses = 0 if (att_warm and entries <= att.entries) else entries
+    att_stall = att_misses * att.fetch_ns
+
+    stream_ns = size / bus.bandwidth_mb_s * 1e3
+    bursts = (size + bus.burst_bytes - 1) // bus.burst_bytes
+    gather = bus.dma_setup_ns + bursts * bus.burst_ns + stream_ns + att_stall
+
+    packets = max(1, (size + link.mtu_bytes - 1) // link.mtu_bytes)
+    wire = link.latency_ns + packets * link.packet_ns + \
+        size / link.payload_mb_s * 1e3
+
+    scatter = bus.dma_setup_ns + bursts * bus.burst_ns + stream_ns + att_stall
+
+    completion = hca.process_ns + hca.cqe_write_ns + hca.poll_ns + \
+        link.latency_ns  # the RC ack
+
+    return MessageBreakdown(
+        post_ns=post,
+        registration_ns=registration,
+        wqe_fetch_ns=wqe_fetch,
+        gather_ns=gather,
+        wire_ns=wire,
+        scatter_ns=scatter,
+        completion_ns=completion,
+    )
+
+
+def placement_comparison(
+    spec: MachineSpec, size: int, registration_cached: bool = False
+) -> Dict[str, MessageBreakdown]:
+    """Breakdowns for the two placements side by side."""
+    return {
+        "4k": breakdown_rdma_message(spec, size, PAGE_4K,
+                                     registration_cached=registration_cached),
+        "2m": breakdown_rdma_message(spec, size, PAGE_2M,
+                                     registration_cached=registration_cached),
+    }

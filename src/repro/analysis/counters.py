@@ -1,0 +1,82 @@
+"""PAPI-like performance counters.
+
+The paper instruments an Opteron with PAPI to read hardware performance
+counters (notably TLB misses) while running the NAS benchmarks.  Our
+simulated hardware publishes its counters through :class:`CounterSet`, a
+small hierarchical counter registry: every component (TLB, caches, ATT,
+allocators, protocol engines) increments named counters, and benchmarks
+snapshot/diff them exactly like a PAPI harness would.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class CounterSet:
+    """A mutable mapping of counter name -> integer value.
+
+    Names are dotted paths by convention (``"tlb.4k.miss"``,
+    ``"att.fetch"``, ``"alloc.free_calls"``) so related counters can be
+    grouped with :meth:`group`.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment *name* by *amount* (may be negative for corrections)."""
+        self._counts[name] += amount
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Current value of *name* (0 if never incremented)."""
+        return self._counts.get(name, default)
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def group(self, prefix: str) -> Dict[str, int]:
+        """All counters whose name starts with ``prefix + '.'`` (or equals
+        *prefix*), keyed by the remainder of the name."""
+        out: Dict[str, int] = {}
+        dotted = prefix + "."
+        for name, value in self._counts.items():
+            if name == prefix:
+                out[""] = value
+            elif name.startswith(dotted):
+                out[name[len(dotted):]] = value
+        return out
+
+    def snapshot(self) -> Dict[str, int]:
+        """A frozen copy of all counters."""
+        return dict(self._counts)
+
+    def diff(self, baseline: Mapping[str, int]) -> Dict[str, int]:
+        """Counters accumulated since *baseline* (a prior snapshot)."""
+        out: Dict[str, int] = {}
+        for name, value in self._counts.items():
+            delta = value - baseline.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    def merged_with(self, other: "CounterSet") -> Dict[str, int]:
+        """Sum of this set and *other* (e.g. aggregating across ranks)."""
+        out = dict(self._counts)
+        for name, value in other._counts.items():
+            out[name] = out.get(name, 0) + value
+        return out

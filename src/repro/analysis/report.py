@@ -1,0 +1,97 @@
+"""ASCII table / series formatting for benchmark output.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; this module provides the small formatting helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _fmt(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+class Table:
+    """A fixed-column ASCII table.
+
+    >>> t = Table(["size", "MB/s"], title="demo")
+    >>> t.add_row([1024, 812.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        if not columns:
+            raise ValueError("Table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append a row; cell count must match the column count."""
+        row = [_fmt(c) for c in cells]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as ASCII art."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        sep = f"+{sep}+"
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(sep)
+        lines.append(
+            "|" + "|".join(f" {c:<{w}} " for c, w in zip(self.columns, widths)) + "|"
+        )
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                "|" + "|".join(f" {c:>{w}} " for c, w in zip(row, widths)) + "|"
+            )
+        lines.append(sep)
+        return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[Union[int, float]],
+    ys: Sequence[Union[int, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Format one figure series as aligned ``x y`` pairs (gnuplot-style)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    lines = [f"# series: {name}", f"# {x_label} {y_label}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{_fmt(x):>12} {_fmt(y):>14}")
+    return "\n".join(lines)
+
+
+def percent_change(before: float, after: float) -> float:
+    """Improvement in percent going from *before* to *after* (positive =
+    *after* is faster/smaller), as the paper reports it."""
+    if before == 0:
+        raise ValueError("before must be non-zero")
+    return (before - after) / before * 100.0

@@ -1,0 +1,272 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig3                 # Fig 3 (SGE sweep)
+    python -m repro fig4                 # Fig 4 (offset sweep)
+    python -m repro fig5                 # Fig 5 (IMB SendRecv, Opteron)
+    python -m repro xeon                 # the §5.1 Xeon driver experiment
+    python -m repro registration         # the 1 % registration table
+    python -m repro fig6 [--class B]     # NAS improvements (default W)
+    python -m repro tlb  [--class B]     # §5.2 TLB miss counts
+    python -m repro abinit               # the allocator comparison
+    python -m repro breakdown [--mb 4]   # per-component message costs
+
+Each command prints the same rows/series the paper reports.  The heavier
+NAS commands accept ``--class W|B|C`` (the benchmark suite uses C).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _cmd_fig3(args) -> None:
+    from repro.analysis.report import Table
+    from repro.workloads.verbs_micro import measure_send
+
+    sizes = [1, 8, 32, 64, 128, 256, 512, 1024, 2048]
+    counts = [1, 2, 4, 8]
+    table = Table(["SGE size"] + [f"{n} SGEs" for n in counts],
+                  title="Fig 3: work request duration [TBR ticks] (System p)")
+    for size in sizes:
+        table.add_row([size] + [
+            measure_send(sges=n, sge_size=size).total_ticks for n in counts
+        ])
+    print(table.render())
+    one = measure_send(sges=1, sge_size=64)
+    many = measure_send(sges=128, sge_size=64)
+    print(f"\npost: 1 SGE = {one.post_ticks} ticks, 128 SGEs = "
+          f"{many.post_ticks} ticks ({many.post_ticks / one.post_ticks:.2f}x; "
+          f"the paper: 'only three times higher')")
+
+
+def _cmd_fig4(args) -> None:
+    from repro.analysis.report import Table
+    from repro.workloads.verbs_micro import measure_send
+
+    offsets = list(range(0, 129, 8))
+    sizes = [8, 16, 32, 64]
+    table = Table(["offset"] + [f"{s} B" for s in sizes],
+                  title="Fig 4: duration vs in-page offset [TBR ticks]")
+    for off in offsets:
+        table.add_row([off] + [
+            measure_send(sges=1, sge_size=s, offset=off).total_ticks
+            for s in sizes
+        ])
+    print(table.render())
+
+
+def _cmd_fig5(args) -> None:
+    from repro.analysis.report import Table
+    from repro.systems import presets
+    from repro.workloads.imb import SendRecvBenchmark
+
+    sizes = [1 * KB, 4 * KB, 8 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB,
+             4 * MB]
+    bench = SendRecvBenchmark(presets.opteron_infinihost_pcie)
+    curves = {
+        "small pages": (False, True),
+        "hugepages": (True, True),
+        "small, no lazy dereg": (False, False),
+        "huge, no lazy dereg": (True, False),
+    }
+    results = {label: bench.run(sizes, hugepages=hp, lazy_dereg=lazy)
+               for label, (hp, lazy) in curves.items()}
+    table = Table(["size [KB]"] + list(curves),
+                  title="Fig 5: IMB SendRecv bandwidth [MB/s] (AMD Opteron)")
+    for size in sizes:
+        table.add_row([size // KB] + [results[l].bandwidth_at(size)
+                                      for l in curves])
+    print(table.render())
+
+
+def _cmd_xeon(args) -> None:
+    from repro.analysis.report import Table
+    from repro.systems import presets
+    from repro.workloads.imb import SendRecvBenchmark
+
+    sizes = [256 * KB, 1 * MB, 4 * MB]
+    bench = SendRecvBenchmark(presets.xeon_infinihost_pcix)
+    stock = bench.run(sizes, hugepages=True, lazy_dereg=True,
+                      driver_hugepage_aware=False)
+    patched = bench.run(sizes, hugepages=True, lazy_dereg=True,
+                        driver_hugepage_aware=True)
+    table = Table(["size [KB]", "stock driver", "patched driver", "gain %"],
+                  title="Xeon/PCI-X: hugepage buffers, OpenIB driver patch")
+    for size in sizes:
+        a, b = stock.bandwidth_at(size), patched.bandwidth_at(size)
+        table.add_row([size // KB, a, b, (b - a) / a * 100])
+    print(table.render())
+
+
+def _cmd_registration(args) -> None:
+    from repro.analysis.report import Table
+    from repro.engine import SimKernel
+    from repro.ib.verbs import ProtectionDomain
+    from repro.mem.physical import PAGE_2M, PAGE_4K
+    from repro.systems import Machine, presets
+
+    machine = Machine(SimKernel(), presets.opteron_infinihost_pcie(
+        hugepages=256))
+    proc = machine.new_process()
+    pd = ProtectionDomain.fresh()
+    table = Table(["size [KB]", "4K pages [us]", "2M pages [us]", "ratio %"],
+                  title="Registration cost (patched driver)")
+    for size in (64 * KB, 1 * MB, 4 * MB, 16 * MB, 64 * MB):
+        costs = {}
+        for page_size, label in ((PAGE_4K, "4k"), (PAGE_2M, "2m")):
+            vma = proc.aspace.mmap(size, page_size=page_size)
+            mr, ns = machine.reg_engine.register(proc.aspace, pd, vma.start,
+                                                 size)
+            costs[label] = ns
+            machine.reg_engine.deregister(proc.aspace, mr)
+            proc.aspace.munmap(vma.start)
+        table.add_row([size // KB, costs["4k"] / 1000, costs["2m"] / 1000,
+                       costs["2m"] / costs["4k"] * 100])
+    print(table.render())
+
+
+def _cmd_fig6(args) -> None:
+    from repro.analysis.report import Table
+    from repro.systems import presets
+    from repro.workloads.nas import KERNELS
+    from repro.workloads.nas.common import compare_hugepages
+
+    table = Table(["kernel", "comm %", "other %", "overall %", "TLB x"],
+                  title=f"Fig 6: NAS class {args.klass}, AMD Opteron, "
+                        "2 nodes x 4 ranks")
+    for name, prog in KERNELS.items():
+        c = compare_hugepages(prog, presets.opteron_infinihost_pcie(),
+                              klass=args.klass, nas_hugepage_pool=720)
+        table.add_row([name, c.comm_improvement_pct, c.other_improvement_pct,
+                       c.overall_improvement_pct, c.tlb_miss_ratio])
+        print(f"  {name} done", file=sys.stderr)
+    print(table.render())
+
+
+def _cmd_tlb(args) -> None:
+    from repro.analysis.report import Table
+    from repro.systems import presets
+    from repro.workloads.nas import KERNELS
+    from repro.workloads.nas.common import compare_hugepages
+
+    table = Table(["kernel", "misses 4K run", "misses hugepage run", "ratio"],
+                  title=f"§5.2 TLB misses, NAS class {args.klass} (Opteron)")
+    for name, prog in KERNELS.items():
+        c = compare_hugepages(prog, presets.opteron_infinihost_pcie(),
+                              klass=args.klass, nas_hugepage_pool=720)
+        table.add_row([name, c.small.tlb_misses_total,
+                       c.huge.tlb_misses_total, c.tlb_miss_ratio])
+        print(f"  {name} done", file=sys.stderr)
+    print(table.render())
+
+
+def _cmd_abinit(args) -> None:
+    from repro.analysis.report import Table
+    from repro.systems import presets
+    from repro.workloads.abinit import compare_allocators
+
+    app = compare_allocators(presets.opteron_infinihost_pcie)
+    table = Table(["allocator", "runtime [ms]", "alloc time [ms]",
+                   "alloc share %"],
+                  title="Abinit-like run: libc vs the hugepage library")
+    for name, r in app.items():
+        table.add_row([name, r.total_ns / 1e6, r.alloc_ns / 1e6,
+                       r.alloc_fraction * 100])
+    print(table.render())
+    libc, lib = app["libc"], app["hugepage_lib"]
+    print(f"\nallocator speedup: {libc.alloc_ns / lib.alloc_ns:.1f}x; "
+          f"runtime saving from allocator time alone: "
+          f"{(libc.alloc_ns - lib.alloc_ns) / libc.total_ns * 100:.1f}%")
+
+
+def _cmd_pingpong(args) -> None:
+    from repro.analysis.report import Table
+    from repro.systems import presets
+    from repro.workloads.imb import PingPongBenchmark
+
+    sizes = [64, 1 * KB, 8 * KB, 64 * KB, 1 * MB]
+    bench = PingPongBenchmark(presets.opteron_infinihost_pcie)
+    small = bench.run(sizes, hugepages=False)
+    huge = bench.run(sizes, hugepages=True)
+    table = Table(
+        ["size [B]", "4K pages [us]", "2M pages [us]"],
+        title="IMB PingPong half-RTT latency (Opteron)",
+    )
+    for i, size in enumerate(sizes):
+        table.add_row([size, small.rows[i].latency_us, huge.rows[i].latency_us])
+    print(table.render())
+
+
+def _cmd_breakdown(args) -> None:
+    from repro.analysis.breakdown import breakdown_rdma_message
+    from repro.analysis.report import Table
+    from repro.mem.physical import PAGE_2M, PAGE_4K
+    from repro.systems import presets
+
+    size = int(args.mb * MB)
+    spec = presets.opteron_infinihost_pcie()
+    table = Table(["config", "reg [us]", "gather [us]", "wire [us]",
+                   "scatter [us]", "pipeline [us]"],
+                  title=f"{args.mb} MB message breakdown (Opteron)")
+    for label, ps, cached in (("4K cold", PAGE_4K, False),
+                              ("2M cold", PAGE_2M, False),
+                              ("4K cached", PAGE_4K, True),
+                              ("2M cached", PAGE_2M, True)):
+        b = breakdown_rdma_message(spec, size, ps, registration_cached=cached)
+        table.add_row([label, b.registration_ns / 1000, b.gather_ns / 1000,
+                       b.wire_ns / 1000, b.scatter_ns / 1000,
+                       b.critical_path_ns / 1000])
+    print(table.render())
+
+
+COMMANDS = {
+    "fig3": (_cmd_fig3, "Fig 3: SGE-count/size sweep (verbs level)"),
+    "fig4": (_cmd_fig4, "Fig 4: in-page offset sweep"),
+    "fig5": (_cmd_fig5, "Fig 5: IMB SendRecv, 4 curves (Opteron)"),
+    "xeon": (_cmd_xeon, "§5.1: the Xeon driver-patch experiment"),
+    "registration": (_cmd_registration, "registration cost, 4K vs 2M"),
+    "fig6": (_cmd_fig6, "Fig 6: NAS hugepage improvements"),
+    "tlb": (_cmd_tlb, "§5.2: TLB miss counts"),
+    "abinit": (_cmd_abinit, "§2/§3.2: the allocator comparison"),
+    "pingpong": (_cmd_pingpong, "IMB PingPong latency view (companion)"),
+    "breakdown": (_cmd_breakdown, "per-component message cost analysis"),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_fn, help_text) in COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        if name in ("fig6", "tlb"):
+            p.add_argument("--class", dest="klass", default="W",
+                           choices=["W", "B", "C"],
+                           help="NAS problem class (default W; the paper "
+                                "uses C)")
+        if name == "breakdown":
+            p.add_argument("--mb", type=float, default=4.0,
+                           help="message size in MB")
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        for name, (_fn, help_text) in COMMANDS.items():
+            print(f"  {name:<14} {help_text}")
+        return 0
+    COMMANDS[args.command][0](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's contribution as a public API.
+
+Three data-placement strategies, one module each:
+
+- :mod:`repro.core.library` — *transparent hugepage placement for large
+  buffers*: "preload" the three-layer hugepage library onto a simulated
+  process, exactly like the paper's ``LD_PRELOAD`` library (§3).
+- :mod:`repro.core.placement` — explicit placement policies: which page
+  size a buffer should live in and at which in-page offset small
+  buffers should start (§4's offset results).
+- :mod:`repro.core.sge` — scatter-gather aggregation strategies for
+  small buffers: one work request with an SGE list instead of several
+  requests or a CPU pack (§4, §7).
+"""
+
+from repro.core.config import PlacementConfig
+from repro.core.library import PreloadedLibrary, preload_hugepage_library
+from repro.core.placement import BufferPlacer, PlacementPolicy
+from repro.core.sge import AggregationPlan, AggregationStrategy, plan_aggregation
+
+__all__ = [
+    "AggregationPlan",
+    "AggregationStrategy",
+    "BufferPlacer",
+    "PlacementConfig",
+    "PlacementPolicy",
+    "PreloadedLibrary",
+    "plan_aggregation",
+    "preload_hugepage_library",
+]

@@ -1,0 +1,36 @@
+"""Top-level placement configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.hugepage_lib import HugepageLibraryConfig
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Everything the placement strategies need in one object.
+
+    Attributes
+    ----------
+    library:
+        Configuration of the transparent hugepage library (§3).
+    small_buffer_offset:
+        Preferred in-page start offset for latency-critical small
+        buffers.  §4's measurements found the adapter/bus "optimized for
+        certain offsets, e.g. at offset 64"; 64 is therefore the default.
+    sge_aggregation_limit:
+        Largest per-element size for which SGE aggregation of small
+        buffers is preferred over separate sends (§4: up to 128 B, four
+        same-size SGEs cost only ~14 % more than one).
+    """
+
+    library: HugepageLibraryConfig = field(default_factory=HugepageLibraryConfig)
+    small_buffer_offset: int = 64
+    sge_aggregation_limit: int = 128
+
+    def __post_init__(self):
+        if not 0 <= self.small_buffer_offset < 4096:
+            raise ValueError("offset must lie inside one page")
+        if self.sge_aggregation_limit < 1:
+            raise ValueError("aggregation limit must be positive")

@@ -1,0 +1,391 @@
+"""Core of the discrete-event simulation kernel.
+
+The kernel keeps a priority queue of ``(time, priority, sequence, event)``
+entries.  Time is an integer tick count; ties are broken first by an event
+priority (so e.g. urgent interrupts run before normal timeouts at the same
+instant) and then by scheduling order, which makes every simulation fully
+deterministic.
+
+Processes are plain generator functions.  Each ``yield`` hands the kernel a
+waitable :class:`Event`; the process is resumed with the event's value when
+it fires (or the event's exception is thrown into the generator).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: scheduling priorities (lower runs first at equal times)
+URGENT = 0
+NORMAL = 1
+
+
+class SimError(Exception):
+    """Base class for simulation kernel errors."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A waitable occurrence.
+
+    Events move through three states: *pending* (created, not triggered),
+    *triggered* (scheduled to fire, value set) and *processed* (callbacks
+    have run).  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("kernel", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, kernel: "SimKernel"):
+        self.kernel = kernel
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (success or failure)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully with *value* after *delay* ticks."""
+        if self._triggered:
+            raise SimError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.kernel._schedule(self, delay, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event as failed; waiters get *exception* thrown."""
+        if self._triggered:
+            raise SimError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.kernel._schedule(self, delay, NORMAL)
+        return self
+
+    # -- internal -------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed else "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires *delay* ticks after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, kernel: "SimKernel", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout delay {delay}")
+        super().__init__(kernel)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        kernel._schedule(self, delay, NORMAL)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, kernel: "SimKernel", process: "Process"):
+        super().__init__(kernel)
+        self._triggered = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        kernel._schedule(self, 0, URGENT)
+
+
+class Process(Event):
+    """A running generator coroutine; also an event that fires on return.
+
+    The value of the event is the generator's ``return`` value; if the
+    generator raises, the process event fails with that exception (unless a
+    waiter exists, the exception propagates out of :meth:`SimKernel.run`).
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, kernel: "SimKernel", generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise SimError(f"{generator!r} is not a generator")
+        super().__init__(kernel)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(kernel, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if self._triggered:
+            raise SimError(f"cannot interrupt finished {self!r}")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_ev = Event(self.kernel)
+        interrupt_ev._triggered = True
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev.callbacks.append(self._resume_throw)
+        self.kernel._schedule(interrupt_ev, 0, URGENT)
+
+    # -- resumption -----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._step(event, throw=not event.ok)
+
+    def _resume_throw(self, event: Event) -> None:
+        self._step(event, throw=True)
+
+    def _step(self, event: Event, throw: bool) -> None:
+        self._target = None
+        self.kernel._active_process = self
+        try:
+            if throw:
+                target = self.generator.throw(event.value)
+            else:
+                target = self.generator.send(event.value)
+        except StopIteration as stop:
+            self._triggered = True
+            self._ok = True
+            self._value = stop.value
+            self.kernel._schedule(self, 0, NORMAL)
+            return
+        except BaseException as exc:
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            if self.callbacks:
+                self.kernel._schedule(self, 0, NORMAL)
+            else:
+                # nobody is waiting: surface the failure from run()
+                self.kernel._crash = exc
+            return
+        finally:
+            self.kernel._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimError(
+                f"process {self.name!r} yielded {target!r}, which is not an Event"
+            )
+        if target.callbacks is None:
+            # already processed: resume immediately at the current instant
+            immediate = Event(self.kernel)
+            immediate._triggered = True
+            immediate._ok = target.ok
+            immediate._value = target.value
+            immediate.callbacks.append(self._resume)
+            self.kernel._schedule(immediate, 0, URGENT)
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values.
+
+    Fails as soon as any child fails.
+    """
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, kernel: "SimKernel", events: Iterable[Event]):
+        super().__init__(kernel)
+        self.events = list(events)
+        self._pending = 0
+        for ev in self.events:
+            if ev.callbacks is None:  # already processed
+                if not ev.ok and not self._triggered:
+                    self.fail(ev.value)
+                continue
+            self._pending += 1
+            ev.callbacks.append(self._child_fired)
+        if self._pending == 0 and not self._triggered:
+            self.succeed([ev.value for ev in self.events])
+
+    def _child_fired(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev.value for ev in self.events])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, kernel: "SimKernel", events: Iterable[Event]):
+        super().__init__(kernel)
+        self.events = list(events)
+        if not self.events:
+            raise SimError("AnyOf requires at least one event")
+        for i, ev in enumerate(self.events):
+            if ev.callbacks is None:
+                if not self._triggered:
+                    if ev.ok:
+                        self.succeed((i, ev.value))
+                    else:
+                        self.fail(ev.value)
+                continue
+            ev.callbacks.append(self._make_cb(i))
+
+    def _make_cb(self, index: int) -> Callable[[Event], None]:
+        def _cb(event: Event) -> None:
+            if self._triggered:
+                return
+            if event.ok:
+                self.succeed((index, event.value))
+            else:
+                self.fail(event.value)
+
+        return _cb
+
+
+class SimKernel:
+    """The event loop: a virtual clock plus a scheduling queue.
+
+    >>> k = SimKernel()
+    >>> def proc():
+    ...     yield k.timeout(10)
+    ...     return k.now
+    >>> p = k.process(proc())
+    >>> k.run()
+    >>> p.value
+    10
+    """
+
+    def __init__(self) -> None:
+        self._queue: List = []
+        self._seq = 0
+        self._now = 0
+        self._active_process: Optional[Process] = None
+        self._crash: Optional[BaseException] = None
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in ticks."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories --------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event firing after *delay* ticks."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start *generator* as a simulation process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Wait for all of *events*."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Wait for the first of *events*."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: int, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + int(delay), priority, self._seq, event))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+        if self._crash is not None:
+            exc, self._crash = self._crash, None
+            raise exc
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the queue drains or the clock passes *until* ticks.
+
+        If a process dies with an unhandled exception and no other process
+        is waiting on it, the exception propagates out of ``run()``.
+        """
+        if until is not None and until < self._now:
+            raise SimError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

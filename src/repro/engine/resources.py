@@ -1,0 +1,189 @@
+"""Synchronisation primitives built on the DES kernel.
+
+- :class:`Resource` — a counted resource with FIFO request queue (used to
+  model exclusive units such as the bus DMA engine or a doorbell register).
+- :class:`Store` — a buffered FIFO of items with optional capacity (used
+  for work queues and completion queues).
+- :class:`Channel` — a message channel with optional filtering on receive
+  (used for MPI message matching by ``(source, tag)``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.engine.core import Event, SimError, SimKernel
+
+
+class Resource:
+    """A resource with *capacity* slots and FIFO granting.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        ...critical section...
+        resource.release()
+    """
+
+    def __init__(self, kernel: SimKernel, capacity: int = 1):
+        if capacity < 1:
+            raise SimError(f"Resource capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        ev = Event(self.kernel)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release one held slot, granting the oldest live waiter.
+
+        A queued request whose event has no callbacks was abandoned (its
+        process was interrupted while waiting and will never take the
+        grant); handing it the slot would leak the slot forever, so such
+        requests are skipped.
+        """
+        if self._in_use <= 0:
+            raise SimError("release() without a matching request()")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.callbacks:
+                # hand the slot straight to the next live waiter
+                waiter.succeed()
+                return
+        self._in_use -= 1
+
+
+class Store:
+    """A FIFO store of items with optional capacity.
+
+    ``put(item)`` and ``get()`` both return events.  Puts block (stay
+    untriggered) while the store is full; gets block while it is empty.
+    """
+
+    def __init__(self, kernel: SimKernel, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimError(f"Store capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Enqueue *item*; the returned event fires once it is accepted."""
+        ev = Event(self.kernel)
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed()
+            self._dispatch()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Dequeue an item; the returned event fires with the item."""
+        ev = Event(self.kernel)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking dequeue: the oldest item, or None when empty (or
+        when waiting getters would race us for it)."""
+        if self._getters or not self._items:
+            return None
+        item = self._items.popleft()
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            pev, pitem = self._putters.popleft()
+            self._items.append(pitem)
+            pev.succeed()
+        return item
+
+    def _dispatch(self) -> None:
+        while self._getters and self._items:
+            self._getters.popleft().succeed(self._items.popleft())
+            while self._putters and (
+                self.capacity is None or len(self._items) < self.capacity
+            ):
+                pev, pitem = self._putters.popleft()
+                self._items.append(pitem)
+                pev.succeed()
+
+
+class Channel:
+    """A message channel with filtered receive.
+
+    Unlike :class:`Store`, receivers may pass a predicate; a message is
+    delivered to the oldest receiver whose predicate accepts it.  This is
+    the substrate for MPI-style ``(source, tag)`` matching: unmatched
+    messages queue, unmatched receivers queue, and matching is performed
+    whenever either side posts (posted-receive semantics).
+    """
+
+    def __init__(self, kernel: SimKernel):
+        self.kernel = kernel
+        self._messages: Deque[Any] = deque()
+        self._receivers: Deque[tuple] = deque()
+
+    @property
+    def pending_messages(self) -> int:
+        """Messages waiting for a matching receiver (the unexpected queue)."""
+        return len(self._messages)
+
+    @property
+    def pending_receivers(self) -> int:
+        """Receivers waiting for a matching message (posted receives)."""
+        return len(self._receivers)
+
+    def send(self, message: Any) -> None:
+        """Deliver *message* immediately to a matching waiting receiver,
+        or queue it (the "unexpected message queue")."""
+        for idx, (ev, predicate) in enumerate(self._receivers):
+            if predicate is None or predicate(message):
+                del self._receivers[idx]
+                ev.succeed(message)
+                return
+        self._messages.append(message)
+
+    def receive(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Return an event firing with the oldest message matching
+        *predicate* (or any message when *predicate* is None)."""
+        ev = Event(self.kernel)
+        for idx, message in enumerate(self._messages):
+            if predicate is None or predicate(message):
+                del self._messages[idx]
+                ev.succeed(message)
+                return ev
+        self._receivers.append((ev, predicate))
+        return ev

@@ -1,0 +1,107 @@
+"""The HCA's address-translation-table (ATT) cache.
+
+Registered memory regions store their page translations in adapter
+memory; the adapter keeps a small on-chip cache of recently used entries.
+Every DMA access must translate its target page — a cached entry is free,
+a miss stalls the DMA engine while the entry is fetched from adapter
+memory (or host memory, depending on the design).
+
+The paper's mechanism (§5.1, §6): with 4 KB translations a multi-megabyte
+transfer touches a new entry every 4 KB and the cache thrashes; with the
+patched driver sending 2 MB translations the working set shrinks 512×,
+"less ATT misses on the adapter ... can also result in bigger network
+bandwidth due to less dispatched stalls" — visible on the Xeon's PCI-X
+system where the bus has no slack to hide the stalls.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.counters import CounterSet
+
+
+@dataclass(frozen=True)
+class ATTConfig:
+    """ATT cache geometry and miss cost.
+
+    Attributes
+    ----------
+    entries: on-chip translation-cache entries (page-size agnostic).
+    fetch_ns: stall to fetch one entry on a miss.
+    """
+
+    entries: int = 64
+    fetch_ns: float = 250.0
+
+    def __post_init__(self):
+        if self.entries < 1:
+            raise ValueError("ATT cache needs at least one entry")
+        if self.fetch_ns < 0:
+            raise ValueError("fetch cost cannot be negative")
+
+
+class ATTCache:
+    """Fully-associative LRU cache of translation entries.
+
+    Keys are ``(mr_id, entry_index)`` pairs — an entry translates one
+    *registered page* of one memory region, at whatever page size the
+    driver uploaded.
+    """
+
+    def __init__(self, config: ATTConfig, counters: Optional[CounterSet] = None):
+        self.config = config
+        self.counters = counters if counters is not None else CounterSet()
+        self._cache: OrderedDict = OrderedDict()
+
+    def access(self, mr_id: int, entry_index: int) -> Tuple[bool, float]:
+        """Translate through entry *entry_index* of region *mr_id*.
+
+        Returns ``(hit, stall_ns)``.
+        """
+        key = (mr_id, entry_index)
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.counters.add("att.hit")
+            return True, 0.0
+        self.counters.add("att.miss")
+        while len(self._cache) >= self.config.entries:
+            self._cache.popitem(last=False)
+        self._cache[key] = True
+        return False, self.config.fetch_ns
+
+    def stream_stall_ns(self, mr_id: int, first_entry: int, n_entries: int) -> float:
+        """Total stall for a sequential sweep over *n_entries* entries.
+
+        Used by the HCA for large transfers: charges the exact per-entry
+        hit/miss pattern through the stateful cache (cheap — entry counts
+        are page counts, not byte counts).
+        """
+        if n_entries < 0:
+            raise ValueError("negative entry count")
+        total = 0.0
+        for i in range(first_entry, first_entry + n_entries):
+            _, ns = self.access(mr_id, i)
+            total += ns
+        return total
+
+    def invalidate_region(self, mr_id: int) -> int:
+        """Drop all cached entries of one region (deregistration).
+
+        Returns the number of entries dropped.
+        """
+        doomed = [k for k in self._cache if k[0] == mr_id]
+        for k in doomed:
+            del self._cache[k]
+        return len(doomed)
+
+    @property
+    def resident(self) -> int:
+        """Live cached entries."""
+        return len(self._cache)
+
+    def flush(self) -> None:
+        """Drop everything."""
+        self._cache.clear()

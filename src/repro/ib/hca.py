@@ -1,0 +1,571 @@
+"""The host channel adapter: work-request processing as DES processes.
+
+The §4 execution flow, step by step:
+
+    "1. The consumer posts a send or receive work request.
+     2. The network adapter transfers the specified data to the
+        communication partner.
+     3. After completion the adapter generates a completion queue entry.
+     4. The consumer is notified about work completion by polling the
+        completion queue or by an interrupt."
+
+Step 1 is CPU work (:meth:`HCA.post_send` — WQE build + doorbell; the
+paper measures it as a near-constant 230–950 TBR ticks).  Steps 2-3 are
+the adapter pipeline (:meth:`HCA._handle_send`): WQE fetch over the bus,
+per-SGE ATT translation and DMA gather, wire transfer, remote scatter,
+CQE write and the RC acknowledgement.  Step 4 is :meth:`HCA.
+wait_completion`.
+
+Scatter/gather economics (§4): the per-WQE costs (doorbell, WQE fetch,
+pipeline occupancy, completion) are paid once regardless of SGE count,
+while each extra SGE only adds a small descriptor-parse + DMA-engine
+cost — so 4 small SGEs cost ~14 % more than one, and 128 SGEs ~3× one,
+as the paper measures in Fig 3.
+
+Bus occupancy is modelled with real DES resources: the gather path holds
+the bus read channel, the scatter path the write channel.  On a
+half-duplex bus (PCI-X) these are the same resource, which is how ATT
+stalls become visible in bandwidth exactly as §5.1 describes for the
+Xeon system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from repro.analysis.counters import CounterSet
+from repro.engine.clock import TickClock
+from repro.engine.core import SimKernel
+from repro.ib.att import ATTCache
+from repro.ib.bus import BusModel
+from repro.ib.link import IBLink
+from repro.ib.registration import RegistrationEngine
+from repro.ib.verbs import (
+    CompletionQueue,
+    IBVerbsError,
+    MemoryRegion,
+    ProtectionDomain,
+    QueuePair,
+    RecvWR,
+    SendWR,
+    WorkCompletion,
+)
+from repro.mem.address_space import AddressSpace
+
+_seq = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class HCAConfig:
+    """Adapter-side fixed costs (ns)."""
+
+    #: CPU cost to build a WQE (descriptor assembly in the send path)
+    post_base_ns: float = 700.0
+    #: CPU cost per SGE appended to a WQE
+    post_per_sge_ns: float = 16.0
+    #: DMA-engine cost per SGE beyond the first (descriptor parse + new
+    #: gather stream; the engine fetches buffers concurrently, §4)
+    sge_extra_ns: float = 60.0
+    #: beyond this many SGEs the DMA engine's descriptor pipeline is full
+    #: and the marginal per-SGE cost drops (the paper's observation that
+    #: 128 SGEs cost only ~3x one SGE: "this overhead does not increase
+    #: linearly")
+    sge_pipeline_depth: int = 4
+    #: marginal per-SGE cost once the descriptor pipeline is primed
+    sge_extra_pipelined_ns: float = 10.0
+    #: fetching/consuming one pre-posted receive WQE
+    recv_wqe_ns: float = 160.0
+    #: writing one CQE to host memory
+    cqe_write_ns: float = 170.0
+    #: CPU cost of one completion-queue poll
+    poll_ns: float = 190.0
+    #: fixed adapter pipeline cost per processed WQE
+    process_ns: float = 380.0
+
+
+@dataclass
+class _Packet:
+    """What travels on the wire between two HCAs.
+
+    ``stream_ns`` is how long the message's data keeps streaming after
+    the first byte arrives — the slower of the sender's gather and the
+    wire serialization.  The receiver overlaps its scatter DMA with that
+    stream, so its bus hold is ``max(stream_ns, scatter_ns)``; this is
+    the mechanism that hides ATT stalls inside bus/link slack (Opteron/
+    PCIe) but exposes them when the bus is the bottleneck (Xeon/PCI-X).
+    """
+
+    kind: str  # "send" | "rdma_write" | "ack"
+    src_qp: int
+    dst_qp: int
+    seq: int
+    wr_id: int
+    nbytes: int
+    payload: Any = None
+    remote_addr: int = 0
+    rkey: int = 0
+    status: str = "success"
+    stream_ns: float = 0.0
+
+
+class Wire:
+    """A point-to-point cable between two HCAs (both directions)."""
+
+    def __init__(self, kernel: SimKernel):
+        self.kernel = kernel
+        self._ends: Dict[int, "HCA"] = {}
+
+    def attach(self, hca: "HCA") -> None:
+        """Connect one HCA end."""
+        if len(self._ends) >= 2 and id(hca) not in self._ends:
+            raise IBVerbsError("a wire has exactly two ends")
+        self._ends[id(hca)] = hca
+
+    def deliver(self, sender: "HCA", packet: _Packet, delay_ticks: int) -> None:
+        """Schedule *packet* to arrive at the far end after *delay_ticks*."""
+        others = [h for key, h in self._ends.items() if key != id(sender)]
+        if not others:
+            raise IBVerbsError("wire has no far end attached")
+        dest = others[0]
+
+        def _arrive():
+            yield self.kernel.timeout(delay_ticks)
+            dest._on_arrival(packet, self)
+
+        self.kernel.process(_arrive(), name=f"wire-{packet.kind}")
+
+
+class HCA:
+    """One adapter instance (see module docstring)."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        clock: TickClock,
+        bus: BusModel,
+        link: IBLink,
+        att: ATTCache,
+        reg_engine: RegistrationEngine,
+        config: Optional[HCAConfig] = None,
+        counters: Optional[CounterSet] = None,
+        name: str = "hca",
+    ):
+        self.kernel = kernel
+        self.clock = clock
+        self.bus = bus
+        self.link = link
+        self.att = att
+        self.reg = reg_engine
+        self.config = config if config is not None else HCAConfig()
+        self.counters = counters if counters is not None else CounterSet()
+        self.name = name
+        self._wires: Dict[int, Wire] = {}
+        self._qps: Dict[int, QueuePair] = {}
+        self._mrs_by_lkey: Dict[int, MemoryRegion] = {}
+        self._mrs_by_rkey: Dict[int, MemoryRegion] = {}
+        self._outstanding: Dict[int, Tuple[QueuePair, SendWR]] = {}
+        #: payload objects landed by inbound RDMA writes, keyed by
+        #: ``(rkey, target vaddr)`` — ranks sharing this HCA have separate
+        #: address spaces whose layouts may coincide, so the vaddr alone
+        #: is ambiguous; the rkey pins the region (drained by the
+        #: rendezvous receiver)
+        self.rdma_landed: Dict[tuple, Any] = {}
+        #: payload objects a local process has exposed for remote RDMA
+        #: reads, keyed by ``(rkey, vaddr)`` (set by the read-rendezvous
+        #: sender, fetched by inbound read requests)
+        self.rdma_exposed: Dict[tuple, Any] = {}
+
+    # -- wiring -------------------------------------------------------------
+    def attach_wire(self, peer: "HCA", wire: Wire) -> None:
+        """Plug this HCA into a cable leading to *peer*."""
+        wire.attach(self)
+        self._wires[id(peer)] = wire
+
+    def wire_to(self, peer: "HCA") -> Wire:
+        """The cable towards *peer* (cables are created by Machine/Cluster
+        wiring, see :func:`connect_hcas`)."""
+        wire = self._wires.get(id(peer))
+        if wire is None:
+            raise IBVerbsError(f"{self.name} has no wire to {peer.name}")
+        return wire
+
+    @staticmethod
+    def connect_pair(qp_a: QueuePair, hca_a: "HCA", qp_b: QueuePair, hca_b: "HCA") -> None:
+        """Bring two QPs to RTS pointing at each other (the HCAs must
+        already share a wire, see :func:`connect_hcas`)."""
+        qp_a.connect(hca_b, qp_b.qp_num)
+        qp_b.connect(hca_a, qp_a.qp_num)
+
+    # -- memory registration ----------------------------------------------------
+    def register_memory(
+        self, aspace: AddressSpace, pd: ProtectionDomain, vaddr: int, length: int
+    ) -> Generator:
+        """Register a buffer (a timed CPU+bus operation).
+
+        Use as ``mr = yield from hca.register_memory(...)``.
+        """
+        mr, ns = self.reg.register(aspace, pd, vaddr, length)
+        self._mrs_by_lkey[mr.lkey] = mr
+        self._mrs_by_rkey[mr.rkey] = mr
+        yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
+        return mr
+
+    def deregister_memory(self, aspace: AddressSpace, mr: MemoryRegion) -> Generator:
+        """Deregister *mr* (timed)."""
+        ns = self.reg.deregister(aspace, mr)
+        self._mrs_by_lkey.pop(mr.lkey, None)
+        self._mrs_by_rkey.pop(mr.rkey, None)
+        yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
+
+    def lookup_mr(self, lkey: int) -> MemoryRegion:
+        """The MR registered under *lkey*."""
+        mr = self._mrs_by_lkey.get(lkey)
+        if mr is None or not mr.registered:
+            raise IBVerbsError(f"invalid lkey {lkey:#x}")
+        return mr
+
+    # -- QP lifecycle --------------------------------------------------------------
+    def create_qp(
+        self, pd: ProtectionDomain, send_cq: CompletionQueue, recv_cq: CompletionQueue
+    ) -> QueuePair:
+        """Create a QP and start its send engine."""
+        qp = QueuePair(self.kernel, pd, send_cq, recv_cq)
+        self._qps[qp.qp_num] = qp
+        self.kernel.process(self._send_loop(qp), name=f"{self.name}-sq{qp.qp_num}")
+        return qp
+
+    # -- posting (CPU side) -----------------------------------------------------------
+    def post_send(self, qp: QueuePair, wr: SendWR) -> Generator:
+        """Post a send WR: WQE build + doorbell (the paper's near-constant
+        'post' cost), then hand off to the adapter."""
+        if not qp.connected:
+            raise IBVerbsError(f"QP {qp.qp_num} is not connected")
+        if len(wr.sges) > qp.max_sge:
+            raise IBVerbsError(f"{len(wr.sges)} SGEs exceeds QP max of {qp.max_sge}")
+        for sge in wr.sges:
+            mr = self.lookup_mr(sge.lkey)
+            if not mr.contains(sge.addr, sge.length):
+                raise IBVerbsError(
+                    f"SGE [{sge.addr:#x}+{sge.length}] outside MR {mr.mr_id}"
+                )
+        ns = (
+            self.config.post_base_ns
+            + len(wr.sges) * self.config.post_per_sge_ns
+            + self.bus.doorbell_ns()
+        )
+        self.counters.add("hca.post_send")
+        yield qp.wr_slots.request()  # blocks while the queue is full
+        yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
+        qp.send_q.put(wr)
+
+    def post_recv(self, qp: QueuePair, wr: RecvWR) -> Generator:
+        """Post a receive WR (no doorbell on the fast path)."""
+        for sge in wr.sges:
+            mr = self.lookup_mr(sge.lkey)
+            if not mr.contains(sge.addr, sge.length):
+                raise IBVerbsError(
+                    f"SGE [{sge.addr:#x}+{sge.length}] outside MR {mr.mr_id}"
+                )
+        ns = self.config.post_base_ns * 0.6 + len(wr.sges) * self.config.post_per_sge_ns
+        self.counters.add("hca.post_recv")
+        yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
+        qp.recv_q.put(wr)
+
+    # -- completion consumption (CPU side) ------------------------------------------------
+    def wait_completion(self, cq: CompletionQueue) -> Generator:
+        """Block until a CQE is available, consume it (one poll cost)."""
+        wc = yield cq.store.get()
+        yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.poll_ns))
+        return wc
+
+    def try_poll(self, cq: CompletionQueue) -> Optional[WorkCompletion]:
+        """Non-blocking poll (untimed peek; benchmarks that care about
+        poll cost use :meth:`wait_completion`)."""
+        return cq.store.try_get()
+
+    # -- adapter send pipeline ----------------------------------------------------------------
+    def _send_loop(self, qp: QueuePair) -> Generator:
+        while True:
+            wr = yield qp.send_q.get()
+            yield from self._handle_send(qp, wr)
+
+    def _gather_ns(self, wr: SendWR) -> float:
+        """Bus-side cost of gathering all SGEs of *wr* (incl. ATT)."""
+        cfg = self.config
+        ns = self.bus.config.dma_setup_ns
+        for i, sge in enumerate(wr.sges):
+            mr = self.lookup_mr(sge.lkey)
+            for entry in mr.entries_for(sge.addr, sge.length):
+                _, stall = self.att.access(mr.mr_id, entry)
+                ns += stall
+            ns += self.bus.bursts_for(sge.addr, sge.length) * self.bus.config.burst_ns
+            ns += self.bus.offset_adjust_ns(sge.addr)
+            if i > 0:
+                if i < cfg.sge_pipeline_depth:
+                    ns += cfg.sge_extra_ns
+                else:
+                    ns += cfg.sge_extra_pipelined_ns
+        ns += self.bus.stream_ns(wr.total_bytes)
+        return max(0.0, ns)
+
+    def _handle_send(self, qp: QueuePair, wr: SendWR) -> Generator:
+        cfg = self.config
+        # WQE fetch is a short exclusive bus read
+        yield self.bus.read_channel.request()
+        try:
+            yield self.kernel.timeout(
+                self.clock.ns_to_ticks(self.bus.wqe_fetch_ns(len(wr.sges)))
+            )
+        finally:
+            self.bus.read_channel.release()
+        # data gather streams over the bus *while* the link serializes;
+        # the wire carries the first bytes after pipeline + latency, and
+        # the message keeps streaming for max(gather, serialization).
+        # An RDMA-read WR carries no local data outbound: it is a small
+        # request packet; the data streams back in the response.
+        if wr.opcode == "rdma_read":
+            gather_ns = 0.0
+            ser_ns = self.link.serialization_ns(16)
+        else:
+            gather_ns = self._gather_ns(wr)
+            ser_ns = self.link.serialization_ns(wr.total_bytes)
+        stream_ns = max(gather_ns, ser_ns)
+        seq = next(_seq)
+        self._outstanding[seq] = (qp, wr)
+        packet = _Packet(
+            kind=wr.opcode,
+            src_qp=qp.qp_num,
+            dst_qp=qp.peer_qp_num,
+            seq=seq,
+            wr_id=wr.wr_id,
+            nbytes=wr.total_bytes,
+            payload=wr.payload,
+            remote_addr=wr.remote_addr,
+            rkey=wr.rkey,
+            stream_ns=stream_ns,
+        )
+        self.counters.add("hca.tx_messages")
+        if wr.opcode != "rdma_read":
+            self.counters.add("hca.tx_bytes", wr.total_bytes)
+        wire = self.wire_to(qp.peer_hca)
+        wire.deliver(
+            self,
+            packet,
+            self.clock.ns_to_ticks(cfg.process_ns + self.link.config.latency_ns),
+        )
+        # the send engine (and the bus read channel) stay busy for the
+        # whole gather; the next WR on this QP starts after it
+        yield self.bus.read_channel.request()
+        try:
+            yield self.kernel.timeout(self.clock.ns_to_ticks(gather_ns))
+        finally:
+            self.bus.read_channel.release()
+
+    # -- adapter receive pipeline ------------------------------------------------------------
+    def _on_arrival(self, packet: _Packet, wire: Wire) -> None:
+        self.kernel.process(
+            self._receive(packet, wire), name=f"{self.name}-rx-{packet.kind}"
+        )
+
+    def _receive(self, packet: _Packet, wire: Wire) -> Generator:
+        if packet.kind == "ack":
+            yield from self._complete_send(packet)
+        elif packet.kind == "send":
+            yield from self._receive_send(packet, wire)
+        elif packet.kind == "rdma_write":
+            yield from self._receive_rdma_write(packet, wire)
+        elif packet.kind == "rdma_read":
+            yield from self._receive_read_request(packet, wire)
+        elif packet.kind == "read_response":
+            yield from self._receive_read_response(packet)
+        else:  # pragma: no cover - defensive
+            raise IBVerbsError(f"unknown packet kind {packet.kind!r}")
+
+    def _complete_send(self, packet: _Packet) -> Generator:
+        entry = self._outstanding.pop(packet.seq, None)
+        if entry is None:
+            raise IBVerbsError(f"ack for unknown sequence {packet.seq}")
+        qp, wr = entry
+        yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.cqe_write_ns))
+        qp.send_cq.store.put(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=wr.opcode,
+                byte_len=wr.total_bytes,
+                status=packet.status,
+            )
+        )
+        qp.wr_slots.release()
+
+    def _scatter_ns(self, sges, payload_bytes: int) -> float:
+        """Bus-side cost of scattering an inbound message."""
+        ns = self.bus.config.dma_setup_ns
+        remaining = payload_bytes
+        for i, sge in enumerate(sges):
+            if remaining <= 0:
+                break
+            use = min(sge.length, remaining)
+            mr = self.lookup_mr(sge.lkey)
+            for entry in mr.entries_for(sge.addr, use):
+                _, stall = self.att.access(mr.mr_id, entry)
+                ns += stall
+            ns += self.bus.bursts_for(sge.addr, use) * self.bus.config.burst_ns
+            ns += self.bus.offset_adjust_ns(sge.addr)
+            if i > 0:
+                if i < self.config.sge_pipeline_depth:
+                    ns += self.config.sge_extra_ns
+                else:
+                    ns += self.config.sge_extra_pipelined_ns
+            remaining -= use
+        ns += self.bus.stream_ns(payload_bytes)
+        return ns
+
+    def _receive_send(self, packet: _Packet, wire: Wire) -> Generator:
+        qp = self._qps.get(packet.dst_qp)
+        if qp is None:
+            raise IBVerbsError(f"send targets unknown QP {packet.dst_qp}")
+        # RC semantics: without a posted receive the sender would see RNR
+        # retries; we model it as waiting for the receive to be posted.
+        recv_wr = yield qp.recv_q.get()
+        status = "success"
+        if recv_wr.total_bytes < packet.nbytes:
+            status = "local-length-error"
+        yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.recv_wqe_ns))
+        yield self.bus.write_channel.request()
+        try:
+            scatter_ns = self._scatter_ns(
+                recv_wr.sges, min(packet.nbytes, recv_wr.total_bytes)
+            )
+            # the scatter overlaps the inbound stream; the bus is busy for
+            # whichever is longer, plus the CQE write
+            ns = max(scatter_ns, packet.stream_ns) + self.config.cqe_write_ns
+            yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
+        finally:
+            self.bus.write_channel.release()
+        self.counters.add("hca.rx_messages")
+        self.counters.add("hca.rx_bytes", packet.nbytes)
+        qp.recv_cq.store.put(
+            WorkCompletion(
+                wr_id=recv_wr.wr_id,
+                opcode="recv",
+                byte_len=packet.nbytes,
+                status=status,
+                payload=packet.payload,
+            )
+        )
+        self._send_ack(packet, status, wire)
+
+    def _receive_rdma_write(self, packet: _Packet, wire: Wire) -> Generator:
+        mr = self._mrs_by_rkey.get(packet.rkey)
+        status = "success"
+        if mr is None or not mr.registered:
+            status = "remote-access-error"
+        elif not mr.contains(packet.remote_addr, packet.nbytes):
+            status = "remote-access-error"
+        if status == "success":
+            yield self.bus.write_channel.request()
+            try:
+                scatter_ns = self.bus.config.dma_setup_ns
+                for entry in mr.entries_for(packet.remote_addr, packet.nbytes):
+                    _, stall = self.att.access(mr.mr_id, entry)
+                    scatter_ns += stall
+                scatter_ns += self.bus.bursts_for(packet.remote_addr, packet.nbytes) * \
+                    self.bus.config.burst_ns
+                scatter_ns += self.bus.stream_ns(packet.nbytes)
+                ns = max(scatter_ns, packet.stream_ns)
+                yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
+            finally:
+                self.bus.write_channel.release()
+            self.rdma_landed[(packet.rkey, packet.remote_addr)] = packet.payload
+            self.counters.add("hca.rx_messages")
+            self.counters.add("hca.rx_bytes", packet.nbytes)
+        self._send_ack(packet, status, wire)
+
+    def _receive_read_request(self, packet: _Packet, wire: Wire) -> Generator:
+        """Responder half of an RDMA read: gather the exposed region
+        and stream it back as a read response."""
+        mr = self._mrs_by_rkey.get(packet.rkey)
+        status = "success"
+        if mr is None or not mr.registered or not mr.contains(
+            packet.remote_addr, packet.nbytes
+        ):
+            status = "remote-access-error"
+        gather_ns = 0.0
+        if status == "success":
+            gather_ns = self.bus.config.dma_setup_ns
+            for entry in mr.entries_for(packet.remote_addr, packet.nbytes):
+                _, stall = self.att.access(mr.mr_id, entry)
+                gather_ns += stall
+            gather_ns += self.bus.bursts_for(
+                packet.remote_addr, packet.nbytes
+            ) * self.bus.config.burst_ns
+            gather_ns += self.bus.stream_ns(packet.nbytes)
+            self.counters.add("hca.tx_bytes", packet.nbytes)
+        payload = self.rdma_exposed.get((packet.rkey, packet.remote_addr))
+        ser_ns = self.link.serialization_ns(packet.nbytes)
+        # the response streams while the gather runs (same overlap as the
+        # send path); the first bytes leave after pipeline + latency
+        response = _Packet(
+            kind="read_response",
+            src_qp=packet.dst_qp,
+            dst_qp=packet.src_qp,
+            seq=packet.seq,
+            wr_id=packet.wr_id,
+            nbytes=packet.nbytes,
+            payload=payload,
+            status=status,
+            stream_ns=max(gather_ns, ser_ns),
+        )
+        wire.deliver(
+            self, response,
+            self.clock.ns_to_ticks(
+                self.config.process_ns + self.link.config.latency_ns
+            ),
+        )
+        if status == "success":
+            yield self.bus.read_channel.request()
+            try:
+                yield self.kernel.timeout(self.clock.ns_to_ticks(gather_ns))
+            finally:
+                self.bus.read_channel.release()
+
+    def _receive_read_response(self, packet: _Packet) -> Generator:
+        """Initiator half: scatter the returned data locally, complete."""
+        entry = self._outstanding.pop(packet.seq, None)
+        if entry is None:
+            raise IBVerbsError(f"read response for unknown seq {packet.seq}")
+        qp, wr = entry
+        if packet.status == "success":
+            yield self.bus.write_channel.request()
+            try:
+                scatter_ns = self._scatter_ns(wr.sges, packet.nbytes)
+                ns = max(scatter_ns, packet.stream_ns) + self.config.cqe_write_ns
+                yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
+            finally:
+                self.bus.write_channel.release()
+            self.counters.add("hca.rx_messages")
+            self.counters.add("hca.rx_bytes", packet.nbytes)
+        qp.send_cq.store.put(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode="rdma_read",
+                byte_len=packet.nbytes,
+                status=packet.status,
+                payload=packet.payload,
+            )
+        )
+        qp.wr_slots.release()
+
+    def _send_ack(self, packet: _Packet, status: str, wire: Wire) -> None:
+        ack = _Packet(
+            kind="ack",
+            src_qp=packet.dst_qp,
+            dst_qp=packet.src_qp,
+            seq=packet.seq,
+            wr_id=packet.wr_id,
+            nbytes=0,
+            status=status,
+        )
+        wire.deliver(self, ack, self.clock.ns_to_ticks(self.link.ack_ns()))

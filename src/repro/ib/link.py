@@ -1,0 +1,64 @@
+"""The InfiniBand link: a full-duplex reliable-connection wire.
+
+Models 4x SDR InfiniBand (10 Gb/s signalling, 8b/10b coding, ≈940 MB/s
+payload after headers) as the paper's clusters used: per-message latency,
+MTU segmentation with a per-packet cost, and streaming bandwidth.  Both
+directions are independent (IB is full duplex), so an IMB *SendRecv* can
+move ~2× the unidirectional rate — which is how the paper's Fig 5 peaks
+near 1750 MB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Link parameters.
+
+    Attributes
+    ----------
+    payload_mb_s: per-direction payload bandwidth.
+    mtu_bytes: maximum transfer unit (IB MTU, typically 2048).
+    packet_ns: per-packet processing cost (headers, CRC, credits).
+    latency_ns: wire + switch latency for the first byte.
+    """
+
+    payload_mb_s: float = 940.0
+    mtu_bytes: int = 2048
+    packet_ns: float = 45.0
+    latency_ns: float = 650.0
+
+    def __post_init__(self):
+        if self.payload_mb_s <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.mtu_bytes <= 0:
+            raise ValueError("MTU must be positive")
+
+
+class IBLink:
+    """Pure cost arithmetic for one direction of the wire."""
+
+    def __init__(self, config: LinkConfig):
+        self.config = config
+
+    def packets_for(self, nbytes: int) -> int:
+        """MTU packets needed for *nbytes* of payload (min 1: even a
+        0-byte send or an ack is one packet)."""
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        return max(1, (nbytes + self.config.mtu_bytes - 1) // self.config.mtu_bytes)
+
+    def serialization_ns(self, nbytes: int) -> float:
+        """Time to clock *nbytes* onto the wire (no latency)."""
+        cfg = self.config
+        return self.packets_for(nbytes) * cfg.packet_ns + nbytes / cfg.payload_mb_s * 1e3
+
+    def transfer_ns(self, nbytes: int) -> float:
+        """First-byte latency + serialization: one message, one way."""
+        return self.config.latency_ns + self.serialization_ns(nbytes)
+
+    def ack_ns(self) -> float:
+        """A zero-payload RC acknowledgement coming back."""
+        return self.config.latency_ns + self.config.packet_ns

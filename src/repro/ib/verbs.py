@@ -1,0 +1,215 @@
+"""The verbs surface: the objects user code holds.
+
+Mirrors the OpenIB verbs the paper programs against: protection domains,
+memory regions (with lkey/rkey), scatter-gather elements, send/receive
+work requests, queue pairs and completion queues.  The objects here are
+passive data; timing and movement live in :mod:`repro.ib.hca` and
+:mod:`repro.ib.registration`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.engine.core import SimKernel
+from repro.engine.resources import Resource, Store
+
+_ids = itertools.count(1)
+
+
+class IBVerbsError(Exception):
+    """Raised on verbs misuse (bad lkey, out-of-bounds SGE, QP state...)."""
+
+
+@dataclass(frozen=True)
+class ProtectionDomain:
+    """A protection domain; regions and QPs must share one to interact."""
+
+    pd_id: int
+
+    @classmethod
+    def fresh(cls) -> "ProtectionDomain":
+        return cls(pd_id=next(_ids))
+
+
+@dataclass
+class MemoryRegion:
+    """A registered memory region.
+
+    Attributes
+    ----------
+    mr_id: adapter-side region handle.
+    pd: owning protection domain.
+    vaddr / length: the user range that was registered.
+    entry_page_size: page size of the translations the driver uploaded
+        (4 KB for the stock driver, 2 MB when the paper's patch is active
+        and the buffer is hugepage-backed).
+    n_entries: number of translation entries in adapter memory.
+    base: page-aligned start of the registered span.
+    lkey / rkey: local / remote access keys.
+    """
+
+    mr_id: int
+    pd: ProtectionDomain
+    vaddr: int
+    length: int
+    entry_page_size: int
+    n_entries: int
+    base: int
+    lkey: int
+    rkey: int
+    registered: bool = True
+
+    def contains(self, addr: int, nbytes: int) -> bool:
+        """True if ``[addr, addr+nbytes)`` is inside the registered range."""
+        return self.vaddr <= addr and addr + nbytes <= self.vaddr + self.length
+
+    def entry_index(self, addr: int) -> int:
+        """Translation-entry index covering *addr*."""
+        if not (self.base <= addr < self.base + self.n_entries * self.entry_page_size):
+            raise IBVerbsError(f"{addr:#x} outside MR {self.mr_id}")
+        return (addr - self.base) // self.entry_page_size
+
+    def entries_for(self, addr: int, nbytes: int) -> range:
+        """Range of translation-entry indices a DMA of *nbytes* at *addr*
+        walks through."""
+        if nbytes <= 0:
+            raise IBVerbsError("DMA length must be positive")
+        first = self.entry_index(addr)
+        last = self.entry_index(addr + nbytes - 1)
+        return range(first, last + 1)
+
+
+@dataclass(frozen=True)
+class SGE:
+    """One scatter/gather element of a work request."""
+
+    addr: int
+    length: int
+    lkey: int
+
+    def __post_init__(self):
+        if self.length <= 0:
+            raise IBVerbsError(f"SGE length must be positive, got {self.length}")
+
+
+@dataclass
+class SendWR:
+    """A send-queue work request.
+
+    ``opcode`` is ``"send"`` (two-sided, consumes a remote RecvWR),
+    ``"rdma_write"`` (one-sided, pushes the SGE data to
+    ``remote_addr``/``rkey``) or ``"rdma_read"`` (one-sided, pulls
+    ``remote_addr``/``rkey`` into the local SGE list).
+    ``payload`` optionally carries real data (any Python object) to the
+    other side — the co-simulation channel the MPI layer uses; for reads
+    the payload comes back from the responder's exposure table.
+    """
+
+    wr_id: int
+    sges: Sequence[SGE]
+    opcode: str = "send"
+    remote_addr: int = 0
+    rkey: int = 0
+    payload: Any = None
+
+    def __post_init__(self):
+        if self.opcode not in ("send", "rdma_write", "rdma_read"):
+            raise IBVerbsError(f"unsupported opcode {self.opcode!r}")
+        if not self.sges:
+            raise IBVerbsError("work request needs at least one SGE")
+
+    @property
+    def total_bytes(self) -> int:
+        """Message payload size (sum over SGEs)."""
+        return sum(s.length for s in self.sges)
+
+
+@dataclass
+class RecvWR:
+    """A receive-queue work request (scatter list for an incoming send)."""
+
+    wr_id: int
+    sges: Sequence[SGE]
+
+    def __post_init__(self):
+        if not self.sges:
+            raise IBVerbsError("receive work request needs at least one SGE")
+
+    @property
+    def total_bytes(self) -> int:
+        """Receive buffer capacity."""
+        return sum(s.length for s in self.sges)
+
+
+@dataclass(frozen=True)
+class WorkCompletion:
+    """A completion-queue entry."""
+
+    wr_id: int
+    opcode: str
+    byte_len: int
+    status: str = "success"
+    payload: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "success"
+
+
+class CompletionQueue:
+    """A completion queue: CQEs land in a Store the consumer drains."""
+
+    def __init__(self, kernel: SimKernel):
+        self.cq_id = next(_ids)
+        self.store = Store(kernel)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+
+class QueuePair:
+    """A reliable-connection queue pair.
+
+    Created through :meth:`repro.ib.hca.HCA.create_qp`; the send queue is
+    drained by the HCA's per-QP send engine, the receive queue is
+    consumed as matching sends arrive.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        pd: ProtectionDomain,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        max_sge: int = 128,
+        max_send_wr: int = 128,
+    ):
+        self.qp_num = next(_ids)
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_sge = max_sge
+        #: send-queue depth: posts block while this many WRs are
+        #: outstanding (posted but not yet completed) — real QPs return
+        #: ENOMEM; a blocking post models the usual retry loop.  A slot
+        #: is taken at post time and released when the completion lands.
+        self.max_send_wr = max_send_wr
+        self.wr_slots = Resource(kernel, capacity=max_send_wr)
+        self.send_q = Store(kernel)
+        self.recv_q = Store(kernel)
+        self.state = "INIT"
+        self.peer_hca: Optional[object] = None
+        self.peer_qp_num: Optional[int] = None
+
+    def connect(self, peer_hca: object, peer_qp_num: int) -> None:
+        """Transition to RTS targeting a peer QP."""
+        self.peer_hca = peer_hca
+        self.peer_qp_num = peer_qp_num
+        self.state = "RTS"
+
+    @property
+    def connected(self) -> bool:
+        return self.state == "RTS"

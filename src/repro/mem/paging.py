@@ -1,0 +1,155 @@
+"""Page tables.
+
+A :class:`PageTable` maps virtual page bases to :class:`PageTableEntry`
+records for two page sizes (4 KB base pages and 2 MB hugepages, which on
+x86-64 are leaf entries one level up the radix tree — hence the cheaper
+walk).  Translation returns both the physical address and the page size so
+callers (TLB, registration engine, DMA) can behave page-size-aware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.mem.physical import PAGE_2M, PAGE_4K, align_down
+
+
+class TranslationFault(Exception):
+    """Raised when a virtual address has no mapping (a segfault)."""
+
+    def __init__(self, vaddr: int):
+        super().__init__(f"no translation for {vaddr:#x}")
+        self.vaddr = vaddr
+
+
+@dataclass
+class PageTableEntry:
+    """One leaf translation.
+
+    Attributes
+    ----------
+    vaddr: virtual page base.
+    paddr: physical frame base.
+    page_size: 4096 or 2 MB.
+    pin_count: number of holders that pinned this page (registration).
+    """
+
+    vaddr: int
+    paddr: int
+    page_size: int
+    pin_count: int = 0
+    #: Copy-on-Write: shared with another address space after a fork;
+    #: the first write must copy the frame
+    cow: bool = False
+
+    @property
+    def pinned(self) -> bool:
+        """True while at least one registration pins the page."""
+        return self.pin_count > 0
+
+
+class PageTable:
+    """A two-granularity page table for one address space."""
+
+    #: page-walk depth for each page size (x86-64: 4 levels for 4 KB
+    #: leaves, 3 for 2 MB leaves)
+    WALK_LEVELS = {PAGE_4K: 4, PAGE_2M: 3}
+
+    def __init__(self) -> None:
+        self._small: Dict[int, PageTableEntry] = {}
+        self._huge: Dict[int, PageTableEntry] = {}
+
+    # -- mapping -----------------------------------------------------------
+    def map(self, vaddr: int, paddr: int, page_size: int) -> PageTableEntry:
+        """Install a leaf translation; *vaddr*/*paddr* must be aligned."""
+        if page_size not in (PAGE_4K, PAGE_2M):
+            raise ValueError(f"unsupported page size {page_size}")
+        if vaddr % page_size or paddr % page_size:
+            raise ValueError(
+                f"unaligned mapping {vaddr:#x} -> {paddr:#x} ({page_size} B page)"
+            )
+        table = self._huge if page_size == PAGE_2M else self._small
+        if vaddr in table:
+            raise ValueError(f"{vaddr:#x} is already mapped")
+        if page_size == PAGE_2M and any(
+            vaddr <= sm < vaddr + PAGE_2M for sm in self._small
+        ):
+            raise ValueError(f"{vaddr:#x} overlaps existing 4 KB mappings")
+        entry = PageTableEntry(vaddr=vaddr, paddr=paddr, page_size=page_size)
+        table[vaddr] = entry
+        return entry
+
+    def unmap(self, vaddr: int, page_size: int) -> PageTableEntry:
+        """Remove a leaf translation; pinned pages may not be unmapped."""
+        table = self._huge if page_size == PAGE_2M else self._small
+        entry = table.get(vaddr)
+        if entry is None:
+            raise TranslationFault(vaddr)
+        if entry.pinned:
+            raise ValueError(f"cannot unmap pinned page {vaddr:#x}")
+        del table[vaddr]
+        return entry
+
+    # -- lookup ------------------------------------------------------------
+    def lookup(self, vaddr: int) -> PageTableEntry:
+        """Find the leaf entry covering *vaddr* (hugepages win)."""
+        huge_base = align_down(vaddr, PAGE_2M)
+        entry = self._huge.get(huge_base)
+        if entry is not None:
+            return entry
+        small_base = align_down(vaddr, PAGE_4K)
+        entry = self._small.get(small_base)
+        if entry is None:
+            raise TranslationFault(vaddr)
+        return entry
+
+    def try_lookup(self, vaddr: int) -> Optional[PageTableEntry]:
+        """Like :meth:`lookup` but returns None instead of faulting."""
+        try:
+            return self.lookup(vaddr)
+        except TranslationFault:
+            return None
+
+    def translate(self, vaddr: int) -> Tuple[int, int]:
+        """Return ``(paddr, page_size)`` for *vaddr*."""
+        entry = self.lookup(vaddr)
+        return entry.paddr + (vaddr - entry.vaddr), entry.page_size
+
+    def is_mapped(self, vaddr: int) -> bool:
+        """True if *vaddr* has a translation."""
+        return self.try_lookup(vaddr) is not None
+
+    def walk_levels(self, vaddr: int) -> int:
+        """Radix-walk depth needed to translate *vaddr* (miss cost input)."""
+        return self.WALK_LEVELS[self.lookup(vaddr).page_size]
+
+    # -- iteration ----------------------------------------------------------
+    def pages_in_range(self, vaddr: int, length: int) -> Iterator[PageTableEntry]:
+        """Yield each leaf entry covering ``[vaddr, vaddr+length)`` in
+        address order.  Faults if any byte of the range is unmapped."""
+        if length <= 0:
+            raise ValueError(f"non-positive length {length}")
+        cursor = vaddr
+        end = vaddr + length
+        while cursor < end:
+            entry = self.lookup(cursor)
+            yield entry
+            cursor = entry.vaddr + entry.page_size
+
+    def entries(self) -> Iterator[PageTableEntry]:
+        """All leaf entries (4 KB then 2 MB, address order)."""
+        for vaddr in sorted(self._small):
+            yield self._small[vaddr]
+        for vaddr in sorted(self._huge):
+            yield self._huge[vaddr]
+
+    @property
+    def n_small(self) -> int:
+        """Number of 4 KB leaf entries."""
+        return len(self._small)
+
+    @property
+    def n_huge(self) -> int:
+        """Number of 2 MB leaf entries."""
+        return len(self._huge)

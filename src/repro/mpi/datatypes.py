@@ -1,0 +1,63 @@
+"""Non-contiguous datatypes and their mapping onto scatter/gather lists.
+
+§4 of the paper argues that MPI implementations should map
+``MPI_Pack()``/``MPI_Unpack()`` (and non-contiguous datatypes generally)
+directly onto the InfiniBand scatter-gather interface instead of packing
+through the CPU; §7 lists implementing this in MPICH2-CH3-IB as future
+work.  This module provides both strategies so the benchmark suite can
+quantify the difference:
+
+- **CPU pack**: copy every block into a contiguous staging buffer, send
+  one SGE (what all 2006 MPI libraries did).
+- **SGE gather**: post a single work request whose SGE list *is* the
+  block list — zero CPU copies, one doorbell, one CQE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.ib.verbs import SGE
+
+
+@dataclass(frozen=True)
+class PackedVector:
+    """A non-contiguous layout: ``count`` blocks of ``block_bytes`` every
+    ``stride_bytes``, starting at ``base`` (an MPI vector type)."""
+
+    base: int
+    count: int
+    block_bytes: int
+    stride_bytes: int
+
+    def __post_init__(self):
+        if self.count <= 0 or self.block_bytes <= 0:
+            raise ValueError("vector needs positive count and block size")
+        if self.stride_bytes < self.block_bytes:
+            raise ValueError("stride smaller than block: blocks overlap")
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes (sum of blocks)."""
+        return self.count * self.block_bytes
+
+    @property
+    def span_bytes(self) -> int:
+        """Bytes from the first block's start to the last block's end."""
+        return (self.count - 1) * self.stride_bytes + self.block_bytes
+
+    def blocks(self) -> List[Tuple[int, int]]:
+        """The ``(addr, length)`` block list."""
+        return [
+            (self.base + i * self.stride_bytes, self.block_bytes)
+            for i in range(self.count)
+        ]
+
+
+def pack_sges(blocks: Sequence[Tuple[int, int]], lkey: int) -> List[SGE]:
+    """Turn an ``(addr, length)`` block list into an SGE list under one
+    lkey (all blocks must lie inside that MR; the HCA validates)."""
+    if not blocks:
+        raise ValueError("need at least one block")
+    return [SGE(addr=a, length=n, lkey=lkey) for a, n in blocks]

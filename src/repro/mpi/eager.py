@@ -1,0 +1,104 @@
+"""The eager protocol and the copy-based (non-RDMA) rendezvous.
+
+Eager (messages ≤ 8 KB): the sender copies into a pre-registered bounce
+buffer and fires one send WR; the receiver's pre-posted bounce catches
+it, the payload is copied out on match.  No user-buffer registration —
+which is why Fig 5 shows no hugepage effect below the RDMA threshold.
+
+Copy rendezvous (8 KB < size ≤ 16 KB): an RTS/CTS handshake followed by
+the payload chunked through bounce buffers.  Still no registration
+("For buffers larger than 16 KB, it uses the RDMA feature of InfiniBand
+so we only see memory registration effects for those buffers", §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.ib.verbs import SGE, SendWR
+
+
+def eager_send(endpoint, dest: int, tag: int, size: int, addr: Optional[int],
+               payload: Any) -> Generator:
+    """Send one eager message (size must fit a bounce buffer)."""
+    env = endpoint.make_envelope("eager", dest, tag, size, payload=payload)
+    yield from send_through_bounce(endpoint, dest, env, size, addr)
+
+
+def send_through_bounce(endpoint, dest: int, env, wire_bytes: int,
+                        addr: Optional[int]) -> Generator:
+    """Copy (if a source address is known) into a free bounce buffer and
+    post one send WR carrying *env*; returns after local completion."""
+    buf_addr, mr = yield endpoint.bounce_pool.get()
+    try:
+        if addr is not None and wire_bytes > 0:
+            cost = endpoint.proc.engine.copy(addr, buf_addr, wire_bytes)
+            yield endpoint.kernel.timeout(cost.ticks)
+        qp = endpoint.qp_for(dest)
+        wr_id = endpoint.next_wr_id()
+        done = endpoint.expect_send_completion(wr_id)
+        wr = SendWR(
+            wr_id=wr_id,
+            sges=[SGE(buf_addr, max(1, wire_bytes), mr.lkey)],
+            payload=env,
+        )
+        yield from endpoint.hca.post_send(qp, wr)
+        yield done
+    finally:
+        endpoint.bounce_pool.put((buf_addr, mr))
+
+
+def send_ctrl(endpoint, dest: int, env) -> Generator:
+    """Send a small protocol control message (RTS/CTS/FIN)."""
+    yield from send_through_bounce(endpoint, dest, env, endpoint.CTRL_BYTES, None)
+
+
+def copy_rendezvous_send(endpoint, dest: int, tag: int, size: int,
+                         addr: Optional[int], payload: Any) -> Generator:
+    """RTS/CTS handshake, then the payload chunked through bounce bufs."""
+    rndv = endpoint.next_rndv_id()
+    rts = endpoint.make_envelope("rts", dest, tag, size, rndv=rndv)
+    yield from send_ctrl(endpoint, dest, rts)
+    yield endpoint.cts_channel.receive(lambda e: e.rndv == rndv)
+    chunk = endpoint.config.eager_buf_bytes
+    offset = 0
+    n_chunks = (size + chunk - 1) // chunk
+    for i in range(n_chunks):
+        this = min(chunk, size - offset)
+        env = endpoint.make_envelope(
+            "rdat", dest, tag, this, rndv=rndv,
+            payload=payload if i == n_chunks - 1 else None,
+        )
+        src = addr + offset if addr is not None else None
+        yield from send_through_bounce(endpoint, dest, env, this, src)
+        offset += this
+
+
+def copy_rendezvous_recv(endpoint, env, addr: Optional[int]) -> Generator:
+    """Receiver half of the copy rendezvous; returns the payload."""
+    cts = endpoint.make_envelope("cts", env.src, env.tag, env.size, rndv=env.rndv)
+    yield from send_ctrl(endpoint, env.src, cts)
+    remaining = env.size
+    payload = None
+    offset = 0
+    while remaining > 0:
+        data = yield endpoint.match_channel.receive(
+            lambda e: e.kind == "rdat" and e.rndv == env.rndv
+        )
+        if addr is not None:
+            # copy out of the bounce into the user buffer
+            cost = endpoint.proc.engine.stream(addr + offset, data.size, write=True)
+            yield endpoint.kernel.timeout(cost.ticks)
+        if data.payload is not None:
+            payload = data.payload
+        offset += data.size
+        remaining -= data.size
+    return payload
+
+
+def eager_recv_copy_out(endpoint, env, addr: Optional[int]) -> Generator:
+    """Charge the receiver-side copy from the bounce to the user buffer."""
+    if addr is not None and env.size > 0:
+        cost = endpoint.proc.engine.stream(addr, env.size, write=True)
+        yield endpoint.kernel.timeout(cost.ticks)
+    return env.payload

@@ -1,0 +1,129 @@
+"""The registration cache: lazy deregistration (pin-down cache).
+
+"To reduce this overhead, several strategies have been proposed (e.g.
+lazy deregistration [9]) and implemented in communication libraries like
+MPICH2-CH3-IB.  There, a pool of already registered memory is hold, so
+that memory registration is done only once for each virtual address."
+(§1)
+
+And its drawback, which the hugepage library sidesteps: "memory remains
+allocated to the application during their whole runtime" — we model that
+too: cached registrations pin pages, so the allocator cannot return them
+to the kernel, and a ``free()`` of cached memory must invalidate the
+cache entry (the classic MVAPICH malloc-hook dance).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.analysis.counters import CounterSet
+from repro.ib.hca import HCA
+from repro.ib.verbs import MemoryRegion, ProtectionDomain
+from repro.mem.address_space import AddressSpace
+
+
+class RegistrationCache:
+    """An interval cache of live memory registrations for one rank.
+
+    ``enabled=False`` models the paper's "deactivated lazy deregistration"
+    mode: every acquire registers and every release deregisters, so the
+    full registration cost lands on each message.
+    """
+
+    def __init__(
+        self,
+        hca: HCA,
+        aspace: AddressSpace,
+        pd: ProtectionDomain,
+        enabled: bool = True,
+        capacity_bytes: Optional[int] = None,
+        counters: Optional[CounterSet] = None,
+    ):
+        self.hca = hca
+        self.aspace = aspace
+        self.pd = pd
+        self.enabled = enabled
+        self.capacity_bytes = capacity_bytes
+        self.counters = counters if counters is not None else CounterSet()
+        self._entries: List[MemoryRegion] = []  # MRU order, newest last
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup helpers -----------------------------------------------------
+    def _find(self, vaddr: int, length: int) -> Optional[MemoryRegion]:
+        for mr in reversed(self._entries):
+            if mr.contains(vaddr, length):
+                return mr
+        return None
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes held registered by the cache."""
+        return sum(mr.length for mr in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- acquisition ------------------------------------------------------------
+    def acquire(self, vaddr: int, length: int) -> Generator:
+        """Get a registration covering ``[vaddr, vaddr+length)``.
+
+        A timed operation: ``mr = yield from cache.acquire(...)``.  With
+        the cache enabled a hit is free; a miss registers and caches.
+        With it disabled every call registers afresh.
+        """
+        if self.enabled:
+            mr = self._find(vaddr, length)
+            if mr is not None:
+                self.hits += 1
+                self.counters.add("regcache.hit")
+                # MRU touch
+                self._entries.remove(mr)
+                self._entries.append(mr)
+                return mr
+        self.misses += 1
+        self.counters.add("regcache.miss")
+        mr = yield from self.hca.register_memory(self.aspace, self.pd, vaddr, length)
+        if self.enabled:
+            self._entries.append(mr)
+            yield from self._evict_to_capacity()
+        return mr
+
+    def release(self, mr: MemoryRegion) -> Generator:
+        """Finish using *mr*: a no-op when caching, an immediate (timed)
+        deregistration otherwise."""
+        if self.enabled:
+            return
+            yield  # pragma: no cover - make this a generator
+        yield from self.hca.deregister_memory(self.aspace, mr)
+
+    def _evict_to_capacity(self) -> Generator:
+        if self.capacity_bytes is None:
+            return
+        while self.cached_bytes > self.capacity_bytes and len(self._entries) > 1:
+            victim = self._entries.pop(0)  # LRU
+            self.counters.add("regcache.evict")
+            yield from self.hca.deregister_memory(self.aspace, victim)
+
+    # -- invalidation -----------------------------------------------------------
+    def invalidate_range(self, vaddr: int, length: int) -> int:
+        """Synchronously drop cached registrations overlapping a freed
+        range (the malloc-hook path; kernel-side cost is charged to the
+        allocator's free already).  Returns entries dropped."""
+        doomed = [
+            mr
+            for mr in self._entries
+            if not (vaddr + length <= mr.vaddr or mr.vaddr + mr.length <= vaddr)
+        ]
+        for mr in doomed:
+            self._entries.remove(mr)
+            self.hca.reg.deregister(self.aspace, mr)
+            self.counters.add("regcache.invalidate")
+        return len(doomed)
+
+    def flush(self) -> Generator:
+        """Deregister everything (finalize)."""
+        while self._entries:
+            mr = self._entries.pop()
+            yield from self.hca.deregister_memory(self.aspace, mr)

@@ -1,0 +1,128 @@
+"""The RDMA rendezvous protocols (messages > 16 KB).
+
+Write-based (the MVAPICH2 scheme of the paper's era, the default):
+
+    sender                          receiver
+    ------                          --------
+    RTS(src,tag,size,rndv)  ---->   (matched by a posted recv)
+                                    register recv buffer   <- regcache
+    (register send buffer)  <----   CTS(rndv, raddr, rkey)
+    RDMA-write payload      ---->   (lands directly in the user buffer)
+    FIN(rndv)               ---->   completion
+
+Read-based (the scheme MVAPICH adopted shortly after; one less control
+message and the sender never blocks on the receiver's progress):
+
+    sender                          receiver
+    ------                          --------
+    register send buffer                (matched by a posted recv)
+    RTS(rndv, saddr, skey)  ---->   register recv buffer
+                            <----   RDMA-read of the sender's buffer
+                            <----   FIN(rndv): sender may reuse/deregister
+
+Both registrations go through the rank's registration cache; with lazy
+deregistration disabled every message pays the full pin+translate+upload
+cost on both sides — Fig 5's first experiment.  The data movement itself
+is a single one-sided operation on the user buffers, so buffer
+*placement* (4 KB vs 2 MB pages) drives both the registration cost and
+the adapter's ATT behaviour during the transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.ib.verbs import SGE, SendWR
+from repro.mpi.eager import send_ctrl
+
+
+def rdma_rendezvous_send(endpoint, dest: int, tag: int, size: int,
+                         addr: int, payload: Any) -> Generator:
+    """Sender half (see module docstring); *addr* must be a real mapped
+    buffer — the RDMA path cannot send from nowhere."""
+    if addr is None:
+        raise ValueError("RDMA rendezvous requires a source buffer address")
+    rndv = endpoint.next_rndv_id()
+    rts = endpoint.make_envelope("rts", dest, tag, size, rndv=rndv)
+    yield from send_ctrl(endpoint, dest, rts)
+    cts = yield endpoint.cts_channel.receive(lambda e: e.rndv == rndv)
+    mr = yield from endpoint.regcache.acquire(addr, size)
+    qp = endpoint.qp_for(dest)
+    wr_id = endpoint.next_wr_id()
+    done = endpoint.expect_send_completion(wr_id)
+    wr = SendWR(
+        wr_id=wr_id,
+        sges=[SGE(addr, size, mr.lkey)],
+        opcode="rdma_write",
+        remote_addr=cts.remote_addr,
+        rkey=cts.rkey,
+        payload=payload,
+    )
+    yield from endpoint.hca.post_send(qp, wr)
+    yield done
+    yield from endpoint.regcache.release(mr)
+    fin = endpoint.make_envelope("fin", dest, tag, size, rndv=rndv)
+    yield from send_ctrl(endpoint, dest, fin)
+
+
+def rdma_rendezvous_recv(endpoint, env, addr: int) -> Generator:
+    """Receiver half; *addr* is the user receive buffer (required)."""
+    if addr is None:
+        raise ValueError(
+            "RDMA rendezvous requires a receive buffer address "
+            f"(recv of {env.size} bytes from rank {env.src})"
+        )
+    mr = yield from endpoint.regcache.acquire(addr, env.size)
+    cts = endpoint.make_envelope(
+        "cts", env.src, env.tag, env.size, rndv=env.rndv,
+        remote_addr=addr, rkey=mr.rkey,
+    )
+    yield from send_ctrl(endpoint, env.src, cts)
+    yield endpoint.fin_channel.receive(lambda e: e.rndv == env.rndv)
+    payload = endpoint.hca.rdma_landed.pop((mr.rkey, addr), None)
+    yield from endpoint.regcache.release(mr)
+    return payload
+
+
+def rdma_read_rendezvous_send(endpoint, dest: int, tag: int, size: int,
+                              addr: int, payload: Any) -> Generator:
+    """Sender half of the read rendezvous: expose the buffer, announce
+    it in the RTS, wait for the receiver's FIN."""
+    if addr is None:
+        raise ValueError("RDMA rendezvous requires a source buffer address")
+    rndv = endpoint.next_rndv_id()
+    mr = yield from endpoint.regcache.acquire(addr, size)
+    endpoint.hca.rdma_exposed[(mr.rkey, addr)] = payload
+    rts = endpoint.make_envelope("rts", dest, tag, size, rndv=rndv,
+                                 remote_addr=addr, rkey=mr.rkey)
+    yield from send_ctrl(endpoint, dest, rts)
+    yield endpoint.fin_channel.receive(lambda e: e.rndv == rndv)
+    endpoint.hca.rdma_exposed.pop((mr.rkey, addr), None)
+    yield from endpoint.regcache.release(mr)
+
+
+def rdma_read_rendezvous_recv(endpoint, env, addr: int) -> Generator:
+    """Receiver half: pull the announced buffer with one RDMA read."""
+    if addr is None:
+        raise ValueError(
+            "RDMA rendezvous requires a receive buffer address "
+            f"(recv of {env.size} bytes from rank {env.src})"
+        )
+    mr = yield from endpoint.regcache.acquire(addr, env.size)
+    qp = endpoint.qp_for(env.src)
+    wr_id = endpoint.next_wr_id()
+    done = endpoint.expect_send_completion(wr_id)
+    wr = SendWR(
+        wr_id=wr_id,
+        sges=[SGE(addr, env.size, mr.lkey)],
+        opcode="rdma_read",
+        remote_addr=env.remote_addr,
+        rkey=env.rkey,
+    )
+    yield from endpoint.hca.post_send(qp, wr)
+    wc = yield done
+    yield from endpoint.regcache.release(mr)
+    fin = endpoint.make_envelope("fin", env.src, env.tag, env.size,
+                                 rndv=env.rndv)
+    yield from send_ctrl(endpoint, env.src, fin)
+    return wc.payload

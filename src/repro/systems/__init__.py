@@ -1,0 +1,13 @@
+"""Machine models and presets for the paper's three test systems."""
+
+from repro.systems.machine import Cluster, Machine, MachineSpec, OSProcess, connect_hcas
+from repro.systems import presets
+
+__all__ = [
+    "Cluster",
+    "Machine",
+    "MachineSpec",
+    "OSProcess",
+    "connect_hcas",
+    "presets",
+]

@@ -1,0 +1,17 @@
+"""Workloads: the benchmarks the paper evaluates with.
+
+- :mod:`repro.workloads.imb` — Intel MPI Benchmarks SendRecv (Fig 5).
+- :mod:`repro.workloads.nas` — mini NAS parallel benchmarks CG/EP/IS/LU/MG
+  (Fig 6 and the TLB-miss measurements).
+- :mod:`repro.workloads.abinit` — the Abinit-like allocation workload
+  (the §2 allocator comparison and §3.2 runtime claim).
+"""
+
+from repro.workloads.imb import (
+    IMBResult,
+    IMBRow,
+    PingPongBenchmark,
+    SendRecvBenchmark,
+)
+
+__all__ = ["IMBResult", "IMBRow", "PingPongBenchmark", "SendRecvBenchmark"]

@@ -1,0 +1,107 @@
+"""NAS FT: 3D FFT — an *extension* kernel (not in the paper's Fig 6).
+
+FT is the NPB kernel the paper did not run, and the most interesting
+one it left out: its transpose-based communication sends the largest
+alltoall volumes of the suite (maximal registration sensitivity), while
+its local transposes walk power-of-two strides (the same page-colouring
+pathology as IS) over buffers it also streams heavily.  Hugepages pull
+FT in both directions at once — which is why it is worth simulating.
+
+Functional payload: a real distributed 2D FFT round trip.  Each rank
+owns a row block; forward FFT along rows, transpose via alltoall with
+real numpy blocks, FFT along (now local) columns — then the inverse of
+both, and the result must equal the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator
+
+import numpy as np
+
+from repro.workloads.nas.common import KB, MB
+
+
+@dataclass(frozen=True)
+class FTParams:
+    """Per-class scaling."""
+
+    iterations: int
+    a2a_bytes_per_peer: int   # transpose volume to each peer per step
+    grid_mb: int              # streamed grid array (u, v: two of them)
+    transpose_stride: int     # local-transpose stride (power of two)
+    strided_accesses: int
+    n_mini: int               # functional FFT grid edge (per the world)
+
+
+CLASSES: Dict[str, FTParams] = {
+    "W": FTParams(iterations=3, a2a_bytes_per_peer=256 * KB, grid_mb=6,
+                  transpose_stride=128 * KB, strided_accesses=3_000,
+                  n_mini=32),
+    "B": FTParams(iterations=10, a2a_bytes_per_peer=4 * MB, grid_mb=20,
+                  transpose_stride=256 * KB, strided_accesses=15_000,
+                  n_mini=32),
+    "C": FTParams(iterations=15, a2a_bytes_per_peer=8 * MB, grid_mb=40,
+                  transpose_stride=256 * KB, strided_accesses=30_000,
+                  n_mini=64),
+}
+
+
+def program(comm, klass: str = "W") -> Generator:
+    """FT rank program; returns ``{"verified": bool, ...}``."""
+    p = CLASSES[klass]
+    proc = comm.proc
+    n, rank = comm.size, comm.rank
+    rows = p.n_mini // n
+
+    # timed arrays: two grid copies (u and its transform)
+    grid_u = proc.malloc(p.grid_mb * MB)
+    grid_v = proc.malloc(p.grid_mb * MB)
+
+    # functional: this rank's row block of a random complex field
+    rng = np.random.default_rng(4242)  # same field everywhere
+    field = rng.standard_normal((p.n_mini, p.n_mini)) \
+        + 1j * rng.standard_normal((p.n_mini, p.n_mini))
+    mine = field[rank * rows:(rank + 1) * rows].copy()
+    original = mine.copy()
+
+    def distributed_transpose(block, tag_epoch):
+        """Alltoall the row block into a column block (timed, real data)."""
+        pieces = [block[:, d * rows:(d + 1) * rows].copy() for d in range(n)]
+        temp = proc.malloc(max(64 * KB, p.a2a_bytes_per_peer))
+        sizes = [p.a2a_bytes_per_peer if d != rank else 0 for d in range(n)]
+        incoming = yield from comm.alltoallv(
+            sizes, payloads=pieces, addrs=[temp] * n, recv_addrs=[temp] * n,
+        )
+        proc.free(temp)
+        return np.hstack([incoming[s].T for s in range(n)])
+
+    for it in range(p.iterations):
+        # compute: stream both grids + the pow2-strided local transpose
+        cost = proc.engine.stream(grid_u, p.grid_mb * MB)
+        cost = cost + proc.engine.stream(grid_v, p.grid_mb * MB, write=True)
+        cost = cost + proc.engine.strided(
+            grid_v, p.grid_mb * MB, p.transpose_stride, p.strided_accesses
+        )
+        yield from comm.compute(cost)
+
+        # functional forward transform: rows, transpose, columns
+        mine = np.fft.fft(mine, axis=1)
+        mine = yield from distributed_transpose(mine, it)
+        mine = np.fft.fft(mine, axis=1)
+
+        # inverse immediately (the NPB evolve step is a phase factor;
+        # the round trip is the communication-equivalent workload)
+        mine = np.fft.ifft(mine, axis=1)
+        mine = yield from distributed_transpose(mine, it)
+        mine = np.fft.ifft(mine, axis=1)
+
+    verified = bool(np.allclose(mine, original, atol=1e-8))
+    ok = yield from comm.allreduce(1, value=verified,
+                                   op=lambda a, b: bool(a) and bool(b))
+    checksum = complex(mine.sum())
+    return {"verified": bool(ok), "checksum": (checksum.real, checksum.imag)}
+
+
+program.kernel_name = "FT"

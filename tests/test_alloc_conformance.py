@@ -1,0 +1,120 @@
+"""Allocator conformance: one behavioural contract, all four allocators.
+
+Every allocator in the package must satisfy the same malloc/free/
+calloc/realloc contract regardless of its placement policy — this suite
+runs the contract against libc, the hugepage library, libhugetlbfs and
+libhugepagealloc in one parameterised sweep.
+"""
+
+import pytest
+
+from repro.alloc import (
+    AllocationError,
+    HugepageLibraryAllocator,
+    LibcAllocator,
+    LibhugepageallocAllocator,
+    LibhugetlbfsAllocator,
+)
+from repro.mem import AddressSpace, HugeTLBfs, PhysicalMemory
+
+KB = 1024
+MB = 1024 * 1024
+
+ALLOCATORS = [
+    LibcAllocator,
+    HugepageLibraryAllocator,
+    LibhugetlbfsAllocator,
+    LibhugepageallocAllocator,
+]
+
+
+@pytest.fixture(params=ALLOCATORS, ids=lambda c: c.name)
+def allocator(request):
+    pm = PhysicalMemory(1024 * MB, hugepages=256)
+    aspace = AddressSpace(pm, HugeTLBfs(pm))
+    return request.param(aspace)
+
+
+class TestContract:
+    def test_malloc_returns_mapped_memory(self, allocator):
+        p = allocator.malloc(100 * KB)
+        paddr, page_size = allocator.aspace.translate(p)
+        assert paddr >= 0 and page_size in (4096, 2 * MB)
+
+    def test_distinct_pointers(self, allocator):
+        ptrs = [allocator.malloc(64 * KB) for _ in range(10)]
+        assert len(set(ptrs)) == 10
+
+    def test_no_overlap(self, allocator):
+        spans = []
+        for size in (8 * KB, 64 * KB, 1 * MB, 100, 256 * KB):
+            p = allocator.malloc(size)
+            spans.append((p, p + size))
+        spans.sort()
+        for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_free_then_stats_balanced(self, allocator):
+        ptrs = [allocator.malloc(32 * KB) for _ in range(5)]
+        for p in ptrs:
+            allocator.free(p)
+        assert allocator.stats.current_bytes == 0
+        assert allocator.live_allocations == 0
+        assert allocator.stats.mallocs == allocator.stats.frees == 5
+
+    def test_double_free_rejected(self, allocator):
+        p = allocator.malloc(64 * KB)
+        allocator.free(p)
+        with pytest.raises(AllocationError):
+            allocator.free(p)
+
+    def test_unknown_pointer_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.free(0xDEADBEEF000)
+
+    def test_zero_size_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.malloc(0)
+
+    def test_calloc_costs_more_than_malloc(self, allocator):
+        before = allocator.stats.malloc_ns
+        allocator.calloc(64, 16 * KB)
+        calloc_ns = allocator.stats.malloc_ns - before
+        before = allocator.stats.malloc_ns
+        allocator.malloc(1 * MB)
+        malloc_ns = allocator.stats.malloc_ns - before
+        assert calloc_ns > malloc_ns
+
+    def test_realloc_moves_accounting(self, allocator):
+        p = allocator.malloc(64 * KB)
+        q = allocator.realloc(p, 256 * KB)
+        assert allocator.allocation_size(q) == 256 * KB
+        assert allocator.stats.current_bytes == 256 * KB
+        allocator.free(q)
+        assert allocator.stats.current_bytes == 0
+
+    def test_costs_accumulate(self, allocator):
+        p = allocator.malloc(512 * KB)
+        allocator.free(p)
+        assert allocator.stats.malloc_ns > 0
+        assert allocator.stats.free_ns > 0
+
+    def test_counters_emitted(self, allocator):
+        p = allocator.malloc(64 * KB)
+        allocator.free(p)
+        assert allocator.counters[f"alloc.{allocator.name}.malloc"] >= 1
+        assert allocator.counters[f"alloc.{allocator.name}.free"] >= 1
+
+    def test_survives_interleaved_churn(self, allocator):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        live = []
+        for i in range(100):
+            if live and rng.random() < 0.4:
+                allocator.free(live.pop(int(rng.integers(0, len(live)))))
+            else:
+                live.append(allocator.malloc(int(rng.integers(64, 2 * MB))))
+        for p in live:
+            allocator.free(p)
+        assert allocator.stats.current_bytes == 0

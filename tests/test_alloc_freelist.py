@@ -1,0 +1,157 @@
+"""Unit tests for the chunked address-ordered free list."""
+
+import pytest
+
+from repro.alloc.freelist import CHUNK_SIZE, ChunkFreeList, FreeExtent
+
+
+@pytest.fixture
+def fl():
+    return ChunkFreeList()
+
+
+def addr(chunk_index: int) -> int:
+    return 0x100000 + chunk_index * CHUNK_SIZE
+
+
+class TestFreeExtent:
+    def test_end(self):
+        e = FreeExtent(start=addr(0), n_chunks=4)
+        assert e.end == addr(4)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            FreeExtent(start=addr(0) + 1, n_chunks=1)
+
+    def test_positive_chunks_enforced(self):
+        with pytest.raises(ValueError):
+            FreeExtent(start=addr(0), n_chunks=0)
+
+
+class TestFirstFit:
+    def test_empty_list_returns_none(self, fl):
+        vaddr, visited = fl.take_first_fit(1)
+        assert vaddr is None
+
+    def test_exact_fit_consumes_extent(self, fl):
+        fl.insert(addr(0), 4)
+        vaddr, _ = fl.take_first_fit(4)
+        assert vaddr == addr(0)
+        assert len(fl) == 0
+
+    def test_split_leaves_remainder(self, fl):
+        fl.insert(addr(0), 10)
+        vaddr, _ = fl.take_first_fit(4)
+        assert vaddr == addr(0)
+        assert fl.extents == (FreeExtent(addr(4), 6),)
+
+    def test_address_order_priority(self, fl):
+        """First fit must prefer the lowest *address*, not insert order."""
+        fl.insert(addr(100), 4)
+        fl.insert(addr(0), 4)
+        vaddr, _ = fl.take_first_fit(2)
+        assert vaddr == addr(0)
+
+    def test_skips_too_small_extents(self, fl):
+        fl.insert(addr(0), 2)
+        fl.insert(addr(10), 8)
+        vaddr, visited = fl.take_first_fit(5)
+        assert vaddr == addr(10)
+        assert visited == 2
+
+    def test_visited_counts_scanned_nodes(self, fl):
+        for i in range(5):
+            fl.insert(addr(i * 10), 1)
+        _, visited = fl.take_first_fit(2)  # nothing fits
+        assert visited == 5
+
+    def test_invalid_count(self, fl):
+        with pytest.raises(ValueError):
+            fl.take_first_fit(0)
+
+
+class TestBestFit:
+    def test_prefers_tightest(self, fl):
+        fl.insert(addr(0), 10)
+        fl.insert(addr(20), 4)
+        vaddr, _ = fl.take_best_fit(3)
+        assert vaddr == addr(20)
+
+    def test_splits_remainder(self, fl):
+        fl.insert(addr(0), 10)
+        vaddr, _ = fl.take_best_fit(4)
+        assert vaddr == addr(0)
+        assert fl.extents[0].n_chunks == 6
+
+    def test_none_when_nothing_fits(self, fl):
+        fl.insert(addr(0), 2)
+        vaddr, _ = fl.take_best_fit(5)
+        assert vaddr is None
+
+
+class TestInsert:
+    def test_no_coalescing_on_insert(self, fl):
+        """§3.2 item 5: adjacent freed extents stay separate."""
+        fl.insert(addr(0), 4)
+        fl.insert(addr(4), 4)
+        assert len(fl) == 2
+        assert fl.free_chunks == 8
+
+    def test_sorted_invariant_maintained(self, fl):
+        fl.insert(addr(20), 2)
+        fl.insert(addr(0), 2)
+        fl.insert(addr(10), 2)
+        assert [e.start for e in fl.extents] == [addr(0), addr(10), addr(20)]
+        assert fl.invariant_ok()
+
+    def test_overlap_with_predecessor_rejected(self, fl):
+        fl.insert(addr(0), 4)
+        with pytest.raises(ValueError):
+            fl.insert(addr(2), 2)
+
+    def test_overlap_with_successor_rejected(self, fl):
+        fl.insert(addr(4), 4)
+        with pytest.raises(ValueError):
+            fl.insert(addr(2), 4)
+
+
+class TestCoalesce:
+    def test_merges_adjacent(self, fl):
+        fl.insert(addr(0), 4)
+        fl.insert(addr(4), 4)
+        fl.insert(addr(20), 2)
+        merges, _ = fl.coalesce()
+        assert merges == 1
+        assert fl.extents == (FreeExtent(addr(0), 8), FreeExtent(addr(20), 2))
+
+    def test_merges_chains(self, fl):
+        for i in range(5):
+            fl.insert(addr(i), 1)
+        merges, _ = fl.coalesce()
+        assert merges == 4
+        assert len(fl) == 1
+        assert fl.free_chunks == 5
+
+    def test_empty_list(self, fl):
+        assert fl.coalesce() == (0, 0)
+
+    def test_enables_large_fit(self, fl):
+        """The deferred-coalescing path: fragmented same-size frees merge
+        on demand into a big enough run."""
+        for i in range(8):
+            fl.insert(addr(i * 2), 2)
+        assert fl.take_first_fit(16)[0] is None
+        fl.coalesce()
+        vaddr, _ = fl.take_first_fit(16)
+        assert vaddr == addr(0)
+
+
+class TestChunksFor:
+    def test_rounding(self):
+        assert ChunkFreeList.chunks_for(1) == 1
+        assert ChunkFreeList.chunks_for(CHUNK_SIZE) == 1
+        assert ChunkFreeList.chunks_for(CHUNK_SIZE + 1) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ChunkFreeList.chunks_for(0)

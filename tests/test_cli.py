@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig5" in capsys.readouterr().out
+
+    def test_unknown_command_fails(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "--mb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "message breakdown" in out
+        assert "4K cold" in out and "2M cached" in out
+
+    def test_registration(self, capsys):
+        assert main(["registration"]) == 0
+        out = capsys.readouterr().out
+        assert "Registration cost" in out
+        # the "down to 1 %" row is present for the largest size
+        assert "65536" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out
+        assert "only three times higher" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "offset" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "IMB SendRecv" in out
+        assert "hugepages" in out
+
+    def test_xeon(self, capsys):
+        assert main(["xeon"]) == 0
+        assert "driver patch" in capsys.readouterr().out
+
+    def test_abinit(self, capsys):
+        assert main(["abinit"]) == 0
+        out = capsys.readouterr().out
+        assert "allocator speedup" in out
+
+    def test_pingpong(self, capsys):
+        assert main(["pingpong"]) == 0
+        assert "PingPong" in capsys.readouterr().out
+
+    def test_fig6_class_w(self, capsys):
+        assert main(["fig6", "--class", "W"]) == 0
+        out = capsys.readouterr().out
+        for kernel in ("CG", "EP", "IS", "LU", "MG"):
+            assert kernel in out
+
+    def test_tlb_class_w(self, capsys):
+        assert main(["tlb", "--class", "W"]) == 0
+        assert "TLB misses" in capsys.readouterr().out

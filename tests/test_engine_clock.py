@@ -1,0 +1,57 @@
+"""Unit tests for TickClock (repro.engine.clock)."""
+
+import pytest
+
+from repro.engine import TickClock
+
+
+class TestConversions:
+    def test_ns_roundtrip(self):
+        clock = TickClock(ticks_per_us=200.0)
+        assert clock.ns_to_ticks(1000.0) == 200
+        assert clock.ticks_to_ns(200) == 1000.0
+
+    def test_us_to_ticks(self):
+        clock = TickClock(ticks_per_us=200.0)
+        assert clock.us_to_ticks(2.5) == 500
+
+    def test_rounding_half_up(self):
+        clock = TickClock(ticks_per_us=1.0)  # 1 tick per us
+        assert clock.ns_to_ticks(499) == 0
+        assert clock.ns_to_ticks(500) == 1
+        assert clock.ns_to_ticks(1499) == 1
+        assert clock.ns_to_ticks(1500) == 2
+
+    def test_negative_rejected(self):
+        clock = TickClock()
+        with pytest.raises(ValueError):
+            clock.ns_to_ticks(-1)
+        with pytest.raises(ValueError):
+            clock.ticks_to_ns(-1)
+
+
+class TestBandwidth:
+    def test_bandwidth_mb_s(self):
+        clock = TickClock(ticks_per_us=200.0)
+        # 1 MB in 1000 us => 1000 MB/s
+        ticks = clock.us_to_ticks(1000.0)
+        assert clock.bandwidth_mb_s(1_000_000, ticks) == pytest.approx(1000.0)
+
+    def test_ticks_for_bandwidth_roundtrip(self):
+        clock = TickClock(ticks_per_us=200.0)
+        ticks = clock.ticks_for_bandwidth(1_000_000, 1000.0)
+        assert clock.bandwidth_mb_s(1_000_000, ticks) == pytest.approx(1000.0, rel=1e-3)
+
+    def test_ticks_for_bandwidth_minimum_one(self):
+        clock = TickClock(ticks_per_us=200.0)
+        assert clock.ticks_for_bandwidth(1, 1e9) == 1
+
+    def test_zero_duration_rejected(self):
+        clock = TickClock()
+        with pytest.raises(ValueError):
+            clock.bandwidth_mb_s(1024, 0)
+
+    def test_zero_bandwidth_rejected(self):
+        clock = TickClock()
+        with pytest.raises(ValueError):
+            clock.ticks_for_bandwidth(1024, 0.0)

@@ -1,0 +1,145 @@
+"""Engine edge cases: interrupts interacting with resources and stores."""
+
+import pytest
+
+from repro.engine import Interrupt, Resource, SimError, SimKernel, Store
+
+
+@pytest.fixture
+def kernel():
+    return SimKernel()
+
+
+class TestInterruptWithResources:
+    def test_interrupted_waiter_releases_nothing(self, kernel):
+        """A process interrupted while *waiting* for a resource never
+        held a slot, so the holder's release must not double-free."""
+        res = Resource(kernel, capacity=1)
+        log = []
+
+        def holder():
+            yield res.request()
+            yield kernel.timeout(100)
+            res.release()
+            log.append(("released", kernel.now))
+
+        def waiter():
+            try:
+                yield res.request()
+                log.append(("acquired", kernel.now))
+                res.release()
+            except Interrupt:
+                log.append(("interrupted", kernel.now))
+
+        kernel.process(holder())
+        w = kernel.process(waiter())
+
+        def interrupter():
+            yield kernel.timeout(50)
+            w.interrupt("go away")
+
+        kernel.process(interrupter())
+        kernel.run()
+        assert ("interrupted", 50) in log
+        assert ("released", 100) in log
+        assert res.in_use == 0
+
+    def test_interrupt_mid_timeout_preserves_clock(self, kernel):
+        def sleeper():
+            try:
+                yield kernel.timeout(1000)
+            except Interrupt:
+                return kernel.now
+
+        p = kernel.process(sleeper())
+
+        def interrupter():
+            yield kernel.timeout(123)
+            p.interrupt()
+
+        kernel.process(interrupter())
+        kernel.run()
+        assert p.value == 123
+
+    def test_double_interrupt_second_wins_error(self, kernel):
+        def quick():
+            try:
+                yield kernel.timeout(10)
+            except Interrupt:
+                return "caught"
+
+        p = kernel.process(quick())
+
+        def interrupter():
+            yield kernel.timeout(1)
+            p.interrupt()
+
+        kernel.process(interrupter())
+        kernel.run()
+        assert p.value == "caught"
+        with pytest.raises(SimError):
+            p.interrupt()
+
+
+class TestStoreEdgeCases:
+    def test_many_getters_fifo(self, kernel):
+        store = Store(kernel)
+        order = []
+
+        def getter(name):
+            item = yield store.get()
+            order.append((name, item))
+
+        for name in "abc":
+            kernel.process(getter(name))
+        kernel.run()
+        for item in (1, 2, 3):
+            store.put(item)
+        kernel.run()
+        assert order == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_put_event_value_none(self, kernel):
+        store = Store(kernel)
+        ev = store.put("x")
+        assert ev.triggered and ev.ok
+
+    def test_capacity_chain_drains_in_order(self, kernel):
+        store = Store(kernel, capacity=1)
+        events = [store.put(i) for i in range(4)]
+        assert [e.triggered for e in events] == [True, False, False, False]
+        drained = []
+
+        def consumer():
+            for _ in range(4):
+                item = yield store.get()
+                drained.append(item)
+
+        kernel.process(consumer())
+        kernel.run()
+        assert drained == [0, 1, 2, 3]
+        assert all(e.triggered for e in events)
+
+
+class TestRunSemantics:
+    def test_run_twice_continues(self, kernel):
+        hits = []
+
+        def beeper():
+            for _ in range(3):
+                yield kernel.timeout(10)
+                hits.append(kernel.now)
+
+        kernel.process(beeper())
+        kernel.run(until=15)
+        assert hits == [10]
+        kernel.run()
+        assert hits == [10, 20, 30]
+
+    def test_peek(self, kernel):
+        assert kernel.peek() is None
+        kernel.timeout(42)
+        assert kernel.peek() == 42
+
+    def test_step_on_empty_queue(self, kernel):
+        with pytest.raises(SimError):
+            kernel.step()

@@ -1,0 +1,212 @@
+"""Unit tests for Resource, Store and Channel (repro.engine.resources)."""
+
+import pytest
+
+from repro.engine import Channel, Resource, SimError, SimKernel, Store
+
+
+@pytest.fixture
+def kernel():
+    return SimKernel()
+
+
+class TestResource:
+    def test_grant_within_capacity(self, kernel):
+        res = Resource(kernel, capacity=2)
+        grants = []
+
+        def user(name):
+            yield res.request()
+            grants.append((kernel.now, name))
+            yield kernel.timeout(10)
+            res.release()
+
+        kernel.process(user("a"))
+        kernel.process(user("b"))
+        kernel.run()
+        assert grants == [(0, "a"), (0, "b")]
+
+    def test_fifo_queueing(self, kernel):
+        res = Resource(kernel, capacity=1)
+        grants = []
+
+        def user(name, hold):
+            yield res.request()
+            grants.append((kernel.now, name))
+            yield kernel.timeout(hold)
+            res.release()
+
+        kernel.process(user("a", 10))
+        kernel.process(user("b", 10))
+        kernel.process(user("c", 10))
+        kernel.run()
+        assert grants == [(0, "a"), (10, "b"), (20, "c")]
+
+    def test_release_without_request_rejected(self, kernel):
+        res = Resource(kernel)
+        with pytest.raises(SimError):
+            res.release()
+
+    def test_capacity_validation(self, kernel):
+        with pytest.raises(SimError):
+            Resource(kernel, capacity=0)
+
+    def test_queue_length_visible(self, kernel):
+        res = Resource(kernel, capacity=1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 2
+
+
+class TestStore:
+    def test_put_then_get(self, kernel):
+        store = Store(kernel)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((kernel.now, item))
+
+        def producer():
+            yield kernel.timeout(5)
+            store.put("x")
+
+        kernel.process(consumer())
+        kernel.process(producer())
+        kernel.run()
+        assert got == [(5, "x")]
+
+    def test_get_before_put_blocks(self, kernel):
+        store = Store(kernel)
+        order = []
+
+        def consumer():
+            item = yield store.get()
+            order.append(item)
+
+        kernel.process(consumer())
+        kernel.run()
+        assert order == []  # still blocked
+        store.put("late")
+        kernel.run()
+        assert order == ["late"]
+
+    def test_fifo_item_order(self, kernel):
+        store = Store(kernel)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        kernel.process(consumer())
+        kernel.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_put(self, kernel):
+        store = Store(kernel, capacity=1)
+        ev1 = store.put("a")
+        ev2 = store.put("b")
+        assert ev1.triggered
+        assert not ev2.triggered
+        done = []
+
+        def consumer():
+            x = yield store.get()
+            done.append(x)
+
+        kernel.process(consumer())
+        kernel.run()
+        assert done == ["a"]
+        assert ev2.triggered  # freed slot accepted the queued put
+        assert store.items == ("b",)
+
+    def test_len_and_items(self, kernel):
+        store = Store(kernel)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == (1, 2)
+
+
+class TestChannel:
+    def test_unfiltered_delivery(self, kernel):
+        ch = Channel(kernel)
+        got = []
+
+        def receiver():
+            msg = yield ch.receive()
+            got.append(msg)
+
+        kernel.process(receiver())
+        kernel.run()
+        ch.send("hello")
+        kernel.run()
+        assert got == ["hello"]
+
+    def test_message_queues_without_receiver(self, kernel):
+        ch = Channel(kernel)
+        ch.send("early")
+        assert ch.pending_messages == 1
+        got = []
+
+        def receiver():
+            msg = yield ch.receive()
+            got.append(msg)
+
+        kernel.process(receiver())
+        kernel.run()
+        assert got == ["early"]
+        assert ch.pending_messages == 0
+
+    def test_predicate_matching(self, kernel):
+        ch = Channel(kernel)
+        got = []
+
+        def receiver(tag):
+            msg = yield ch.receive(lambda m: m["tag"] == tag)
+            got.append((tag, msg["body"]))
+
+        kernel.process(receiver(7))
+        kernel.process(receiver(3))
+        kernel.run()
+        ch.send({"tag": 3, "body": "three"})
+        ch.send({"tag": 7, "body": "seven"})
+        kernel.run()
+        assert sorted(got) == [(3, "three"), (7, "seven")]
+
+    def test_unmatched_message_stays_queued(self, kernel):
+        ch = Channel(kernel)
+
+        def receiver():
+            yield ch.receive(lambda m: m == "wanted")
+
+        kernel.process(receiver())
+        kernel.run()
+        ch.send("unwanted")
+        kernel.run()
+        assert ch.pending_messages == 1
+        assert ch.pending_receivers == 1
+        ch.send("wanted")
+        kernel.run()
+        assert ch.pending_receivers == 0
+        assert ch.pending_messages == 1
+
+    def test_oldest_matching_message_first(self, kernel):
+        ch = Channel(kernel)
+        ch.send(("t", 1))
+        ch.send(("t", 2))
+        got = []
+
+        def receiver():
+            m = yield ch.receive(lambda m: m[0] == "t")
+            got.append(m)
+
+        kernel.process(receiver())
+        kernel.run()
+        assert got == [("t", 1)]

@@ -1,0 +1,132 @@
+"""Property-based tests on the IB cost models: monotonicity, bounds and
+consistency properties that any sane hardware model must satisfy."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.engine import SimKernel
+from repro.ib.bus import BusModel, gx_bus, pci_express_x8, pci_x_133
+from repro.ib.link import IBLink, LinkConfig
+
+BUSES = [pci_express_x8, pci_x_133, gx_bus]
+
+
+def make_bus(factory):
+    return BusModel(SimKernel(), factory())
+
+
+class TestBusCostProperties:
+    @given(
+        nbytes=st.integers(min_value=1, max_value=16 * 1024 * 1024),
+        extra=st.integers(min_value=1, max_value=1024 * 1024),
+        paddr=st.integers(min_value=0, max_value=1 << 40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_dma_read_monotone_in_size(self, nbytes, extra, paddr):
+        bus = make_bus(pci_express_x8)
+        assert bus.dma_read_ns(paddr, nbytes) <= bus.dma_read_ns(
+            paddr, nbytes + extra
+        )
+
+    @given(
+        nbytes=st.integers(min_value=1, max_value=1 << 24),
+        paddr=st.integers(min_value=0, max_value=1 << 40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_costs_positive_everywhere(self, nbytes, paddr):
+        for factory in BUSES:
+            bus = make_bus(factory)
+            assert bus.dma_read_ns(paddr, nbytes) > 0
+            assert bus.dma_write_ns(paddr, nbytes) >= 0
+            assert bus.stream_ns(nbytes) > 0
+
+    @given(nbytes=st.integers(min_value=1, max_value=1 << 24))
+    @settings(max_examples=50, deadline=None)
+    def test_dma_never_beats_raw_stream(self, nbytes):
+        """Descriptor setup and bursts only add cost on top of the
+        bandwidth floor."""
+        bus = make_bus(pci_x_133)
+        assert bus.dma_read_ns(0, nbytes) >= bus.stream_ns(nbytes)
+
+    @given(
+        paddr=st.integers(min_value=0, max_value=1 << 40),
+        nbytes=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bursts_cover_the_range(self, paddr, nbytes):
+        bus = make_bus(gx_bus)
+        bursts = bus.bursts_for(paddr, nbytes)
+        b = bus.config.burst_bytes
+        # enough bursts to cover the span, never more than span/b + 1
+        assert bursts * b >= nbytes
+        assert bursts <= (nbytes + b - 1) // b + 1
+
+    @given(offset=st.integers(min_value=0, max_value=4095))
+    @settings(max_examples=200, deadline=None)
+    def test_offset_profile_bounded(self, offset):
+        """The Fig 4 adjustment never exceeds a fraction of a microsecond
+        and never drives a DMA cost negative."""
+        for factory in BUSES:
+            bus = make_bus(factory)
+            adj = bus.offset_adjust_ns(offset)
+            assert abs(adj) < 500.0
+            assert bus.dma_read_ns(offset, 8) >= 0.0
+
+    @given(n_sges=st.integers(min_value=0, max_value=256))
+    @settings(max_examples=50, deadline=None)
+    def test_wqe_fetch_monotone_in_sges(self, n_sges):
+        bus = make_bus(pci_express_x8)
+        assert bus.wqe_fetch_ns(n_sges) <= bus.wqe_fetch_ns(n_sges + 1)
+
+
+class TestLinkCostProperties:
+    @given(
+        nbytes=st.integers(min_value=0, max_value=1 << 25),
+        extra=st.integers(min_value=1, max_value=1 << 20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_transfer_monotone(self, nbytes, extra):
+        link = IBLink(LinkConfig())
+        assert link.transfer_ns(nbytes) <= link.transfer_ns(nbytes + extra)
+
+    @given(nbytes=st.integers(min_value=1, max_value=1 << 25))
+    @settings(max_examples=100, deadline=None)
+    def test_effective_bandwidth_below_rated(self, nbytes):
+        link = IBLink(LinkConfig(payload_mb_s=940.0))
+        ns = link.serialization_ns(nbytes)
+        achieved_mb_s = nbytes / (ns / 1e9) / 1e6
+        assert achieved_mb_s <= 940.0 + 1e-6
+
+    @given(nbytes=st.integers(min_value=0, max_value=1 << 25))
+    @settings(max_examples=100, deadline=None)
+    def test_packets_consistent_with_mtu(self, nbytes):
+        link = IBLink(LinkConfig(mtu_bytes=2048))
+        packets = link.packets_for(nbytes)
+        assert packets >= 1
+        assert (packets - 1) * 2048 < max(1, nbytes) <= packets * 2048 or nbytes == 0
+
+
+class TestRegistrationCostProperties:
+    @given(
+        n_pages=st.integers(min_value=1, max_value=2048),
+        extra=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_registration_monotone_in_pages(self, n_pages, extra):
+        from repro.ib.registration import RegistrationCosts
+
+        costs = RegistrationCosts()
+
+        def total(pages):
+            return (costs.base_ns
+                    + pages * (costs.per_4k_pin_ns + costs.per_page_translate_ns
+                               + costs.per_entry_upload_ns))
+
+        assert total(n_pages) < total(n_pages + extra)
+
+    def test_pin_cost_validates_page_size(self):
+        from repro.ib.registration import RegistrationCosts
+
+        with pytest.raises(ValueError):
+            RegistrationCosts().pin_ns(8192)

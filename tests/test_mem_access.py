@@ -1,0 +1,163 @@
+"""Unit/integration tests for the timed memory-access engine."""
+
+import pytest
+
+from repro.analysis import CounterSet
+from repro.engine import TickClock
+from repro.mem import (
+    AddressSpace,
+    CacheConfig,
+    HugeTLBfs,
+    MemoryAccessEngine,
+    PAGE_2M,
+    PAGE_4K,
+    PhysicalMemory,
+    TLBConfig,
+)
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def setup():
+    pm = PhysicalMemory(512 * MB, hugepages=64, fragmentation=1.0, seed=3)
+    fs = HugeTLBfs(pm)
+    aspace = AddressSpace(pm, fs)
+    counters = CounterSet()
+    engine = MemoryAccessEngine(
+        aspace, TLBConfig(), CacheConfig(), TickClock(200.0), counters
+    )
+    return aspace, engine, counters
+
+
+class TestTouch:
+    def test_positive_cost(self, setup):
+        aspace, engine, _ = setup
+        vma = aspace.mmap(PAGE_4K)
+        cost = engine.touch(vma.start, 256)
+        assert cost.ns > 0
+        assert cost.cache_misses == 4  # 256 B = 4 cold lines
+
+    def test_second_touch_hits_cache(self, setup):
+        aspace, engine, _ = setup
+        vma = aspace.mmap(PAGE_4K)
+        engine.touch(vma.start, 256)
+        cost = engine.touch(vma.start, 256)
+        assert cost.cache_hits == 4
+        assert cost.cache_misses == 0
+
+    def test_page_crossing_counts_two_translations(self, setup):
+        aspace, engine, _ = setup
+        vma = aspace.mmap(2 * PAGE_4K)
+        cost = engine.touch(vma.start + PAGE_4K - 64, 128)
+        assert cost.tlb_misses + cost.tlb_hits == 2
+
+    def test_invalid_size(self, setup):
+        _, engine, _ = setup
+        with pytest.raises(ValueError):
+            engine.touch(0, 0)
+
+
+class TestStream:
+    def test_hugepage_stream_beats_scattered_4k(self, setup):
+        """The §5.2 'other improvements': physical contiguity helps the
+        prefetcher, so streaming hugepage-backed memory is faster."""
+        aspace, engine, _ = setup
+        small = aspace.mmap(8 * MB)
+        huge = aspace.mmap(8 * MB, page_size=PAGE_2M)
+        c_small = engine.stream(small.start, 8 * MB)
+        c_huge = engine.stream(huge.start, 8 * MB)
+        assert c_huge.ns < c_small.ns
+        # the effect is noticeable but bounded (tens of percent)
+        assert c_small.ns / c_huge.ns < 3.0
+
+    def test_tlb_misses_per_page(self, setup):
+        aspace, engine, _ = setup
+        small = aspace.mmap(4 * MB)
+        huge = aspace.mmap(4 * MB, page_size=PAGE_2M)
+        c_small = engine.stream(small.start, 4 * MB)
+        c_huge = engine.stream(huge.start, 4 * MB)
+        assert c_small.tlb_misses == 1024
+        assert c_huge.tlb_misses == 2
+
+    def test_counters_updated(self, setup):
+        aspace, engine, counters = setup
+        vma = aspace.mmap(1 * MB)
+        engine.stream(vma.start, 1 * MB)
+        assert counters["tlb.4k.miss"] == 256
+
+    def test_ticks_conversion(self, setup):
+        aspace, engine, _ = setup
+        vma = aspace.mmap(1 * MB)
+        cost = engine.stream(vma.start, 1 * MB)
+        assert cost.ticks == TickClock(200.0).ns_to_ticks(cost.ns)
+
+    def test_copy_costs_both_sides(self, setup):
+        aspace, engine, _ = setup
+        a = aspace.mmap(1 * MB)
+        b = aspace.mmap(1 * MB)
+        c_copy = engine.copy(a.start, b.start, 1 * MB)
+        c_one = engine.stream(a.start, 1 * MB)
+        assert c_copy.ns > c_one.ns
+
+
+class TestRotate:
+    def test_hugepage_rotation_thrashes(self, setup):
+        """More streams than hugepage TLB entries: misses explode (the
+        paper's 'TLB misses increased dramatically, up to eight times')."""
+        aspace, engine, _ = setup
+        huge = aspace.mmap(32 * MB, page_size=PAGE_2M)
+        small = aspace.mmap(32 * MB)
+        regions_h = [(huge.start + i * 2 * MB, MB) for i in range(16)]
+        regions_s = [(small.start + i * 2 * MB, MB) for i in range(16)]
+        c_h = engine.rotate(regions_h, 10_000, 256)
+        c_s = engine.rotate(regions_s, 10_000, 256)
+        assert c_h.tlb_misses > 5 * c_s.tlb_misses
+
+    def test_few_streams_fit(self, setup):
+        aspace, engine, _ = setup
+        huge = aspace.mmap(8 * MB, page_size=PAGE_2M)
+        regions = [(huge.start + i * 2 * MB, MB) for i in range(4)]
+        cost = engine.rotate(regions, 1000, 256)
+        assert cost.tlb_misses == 4  # cold only
+
+    def test_validation(self, setup):
+        _, engine, _ = setup
+        with pytest.raises(ValueError):
+            engine.rotate([], 10, 64)
+
+
+class TestRandom:
+    def test_hugepages_cover_more(self, setup):
+        """Uniform random over a 64 MB region: 8 hugepage entries cover
+        16 MB (25%), 544 4K entries cover ~2 MB (3%)."""
+        aspace, engine, _ = setup
+        small = aspace.mmap(64 * MB)
+        huge = aspace.mmap(64 * MB, page_size=PAGE_2M)
+        c_small = engine.random(small.start, 64 * MB, 10_000)
+        c_huge = engine.random(huge.start, 64 * MB, 10_000)
+        assert c_huge.tlb_misses < c_small.tlb_misses
+
+    def test_every_access_misses_cache(self, setup):
+        aspace, engine, _ = setup
+        vma = aspace.mmap(16 * MB)
+        cost = engine.random(vma.start, 16 * MB, 500)
+        assert cost.cache_misses == 500
+
+    def test_validation(self, setup):
+        aspace, engine, _ = setup
+        vma = aspace.mmap(PAGE_4K)
+        with pytest.raises(ValueError):
+            engine.random(vma.start, 0, 10)
+
+
+class TestAccessCostAlgebra:
+    def test_add(self, setup):
+        aspace, engine, _ = setup
+        vma = aspace.mmap(2 * PAGE_4K)
+        a = engine.touch(vma.start, 64)
+        b = engine.touch(vma.start + PAGE_4K, 64)
+        c = a + b
+        assert c.ns == a.ns + b.ns
+        assert c.tlb_misses == a.tlb_misses + b.tlb_misses
+        assert c.cache_misses == a.cache_misses + b.cache_misses

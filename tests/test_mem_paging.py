@@ -1,0 +1,120 @@
+"""Unit tests for page tables (repro.mem.paging)."""
+
+import pytest
+
+from repro.mem.paging import PageTable, TranslationFault
+from repro.mem.physical import PAGE_2M, PAGE_4K
+
+
+@pytest.fixture
+def pt():
+    return PageTable()
+
+
+class TestMapping:
+    def test_map_and_translate_4k(self, pt):
+        pt.map(0x1000, 0x20000, PAGE_4K)
+        paddr, size = pt.translate(0x1234)
+        assert paddr == 0x20234
+        assert size == PAGE_4K
+
+    def test_map_and_translate_2m(self, pt):
+        pt.map(0, 0x200000, PAGE_2M)
+        paddr, size = pt.translate(0x12345)
+        assert paddr == 0x200000 + 0x12345
+        assert size == PAGE_2M
+
+    def test_unaligned_rejected(self, pt):
+        with pytest.raises(ValueError):
+            pt.map(0x1001, 0x2000, PAGE_4K)
+        with pytest.raises(ValueError):
+            pt.map(0x1000, 0x2001, PAGE_4K)
+
+    def test_double_map_rejected(self, pt):
+        pt.map(0x1000, 0x2000, PAGE_4K)
+        with pytest.raises(ValueError):
+            pt.map(0x1000, 0x3000, PAGE_4K)
+
+    def test_bad_page_size_rejected(self, pt):
+        with pytest.raises(ValueError):
+            pt.map(0, 0, 8192)
+
+    def test_huge_overlapping_small_rejected(self, pt):
+        pt.map(0x1000, 0x2000, PAGE_4K)
+        with pytest.raises(ValueError):
+            pt.map(0, 0x200000, PAGE_2M)
+
+    def test_counts(self, pt):
+        pt.map(0x1000, 0x2000, PAGE_4K)
+        pt.map(0x200000, 0x400000, PAGE_2M)
+        assert pt.n_small == 1
+        assert pt.n_huge == 1
+
+
+class TestLookup:
+    def test_fault_on_unmapped(self, pt):
+        with pytest.raises(TranslationFault):
+            pt.lookup(0xDEAD000)
+
+    def test_try_lookup_returns_none(self, pt):
+        assert pt.try_lookup(0xDEAD000) is None
+
+    def test_is_mapped(self, pt):
+        pt.map(0x1000, 0x2000, PAGE_4K)
+        assert pt.is_mapped(0x1FFF)
+        assert not pt.is_mapped(0x2000)
+
+    def test_hugepage_wins_at_same_region(self, pt):
+        pt.map(0x200000, 0x400000, PAGE_2M)
+        entry = pt.lookup(0x200000 + 0x1000)
+        assert entry.page_size == PAGE_2M
+
+    def test_walk_levels(self, pt):
+        pt.map(0x1000, 0x2000, PAGE_4K)
+        pt.map(0x200000, 0x400000, PAGE_2M)
+        assert pt.walk_levels(0x1000) == 4
+        assert pt.walk_levels(0x200000) == 3
+
+
+class TestUnmap:
+    def test_unmap(self, pt):
+        pt.map(0x1000, 0x2000, PAGE_4K)
+        entry = pt.unmap(0x1000, PAGE_4K)
+        assert entry.paddr == 0x2000
+        assert not pt.is_mapped(0x1000)
+
+    def test_unmap_missing_faults(self, pt):
+        with pytest.raises(TranslationFault):
+            pt.unmap(0x1000, PAGE_4K)
+
+    def test_pinned_page_cannot_be_unmapped(self, pt):
+        entry = pt.map(0x1000, 0x2000, PAGE_4K)
+        entry.pin_count += 1
+        with pytest.raises(ValueError):
+            pt.unmap(0x1000, PAGE_4K)
+        entry.pin_count -= 1
+        pt.unmap(0x1000, PAGE_4K)
+
+
+class TestRangeIteration:
+    def test_pages_in_range_4k(self, pt):
+        for i in range(4):
+            pt.map(0x1000 + i * PAGE_4K, 0x10000 + i * PAGE_4K, PAGE_4K)
+        entries = list(pt.pages_in_range(0x1800, 2 * PAGE_4K))
+        assert [e.vaddr for e in entries] == [0x1000, 0x2000, 0x3000]
+
+    def test_pages_in_range_mixed_fault(self, pt):
+        pt.map(0x1000, 0x2000, PAGE_4K)
+        with pytest.raises(TranslationFault):
+            list(pt.pages_in_range(0x1000, 3 * PAGE_4K))
+
+    def test_pages_in_range_huge(self, pt):
+        pt.map(0x200000, 0x400000, PAGE_2M)
+        pt.map(0x400000, 0x800000, PAGE_2M)
+        entries = list(pt.pages_in_range(0x200000 + 5, PAGE_2M))
+        assert [e.vaddr for e in entries] == [0x200000, 0x400000]
+
+    def test_non_positive_length_rejected(self, pt):
+        pt.map(0x1000, 0x2000, PAGE_4K)
+        with pytest.raises(ValueError):
+            list(pt.pages_in_range(0x1000, 0))

@@ -1,0 +1,219 @@
+"""Integration tests for the MPI layer (repro.mpi.api)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MPIConfig, MPIWorld
+from repro.systems import Cluster, presets
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def make_world(ppn=2, n_nodes=2, **cfg):
+    cluster = Cluster(presets.opteron_infinihost_pcie(), n_nodes=n_nodes)
+    return MPIWorld(cluster, ppn=ppn, config=MPIConfig(**cfg))
+
+
+class TestWorldSetup:
+    def test_block_placement(self):
+        world = make_world(ppn=4)
+        assert world.size == 8
+        assert world.node_of(0) == 0
+        assert world.node_of(3) == 0
+        assert world.node_of(4) == 1
+
+    def test_qps_only_between_nodes(self):
+        world = make_world(ppn=2)
+        assert 1 not in world.endpoint(0).qps  # same node: shared memory
+        assert 2 in world.endpoint(0).qps
+        assert 3 in world.endpoint(0).qps
+
+    def test_invalid_rank(self):
+        world = make_world()
+        with pytest.raises(ValueError):
+            world.node_of(99)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MPIConfig(eager_threshold=64 * KB, eager_buf_bytes=16 * KB)
+        with pytest.raises(ValueError):
+            MPIConfig(rdma_threshold=1024, eager_threshold=8192)
+
+
+class TestPointToPoint:
+    @pytest.mark.parametrize("size,label", [
+        (512, "eager"),
+        (12 * KB, "copy-rendezvous"),
+        (256 * KB, "rdma-rendezvous"),
+    ])
+    def test_internode_payload_delivery(self, size, label):
+        world = make_world(ppn=1)
+
+        def program(comm):
+            buf = comm.proc.malloc(MB)
+            if comm.rank == 0:
+                data = np.arange(100, dtype=np.float64)
+                yield from comm.send(1, 42, size, addr=buf, payload=data)
+                return None
+            payload, got_size, src, tag = yield from comm.recv(0, 42, addr=buf)
+            return (payload, got_size, src, tag)
+
+        results = world.run(program)
+        payload, got_size, src, tag = results[1].value
+        assert np.array_equal(payload, np.arange(100, dtype=np.float64))
+        assert got_size == size
+        assert (src, tag) == (0, 42)
+
+    def test_intranode_delivery(self):
+        world = make_world(ppn=2, n_nodes=1)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 7, 100 * KB, payload="local")
+                return None
+            payload, *_ = yield from comm.recv(0, 7)
+            return payload
+
+        results = world.run(program)
+        assert results[1].value == "local"
+
+    def test_any_source_recv(self):
+        world = make_world(ppn=1)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 5, 64, payload="x")
+                return None
+            payload, _, src, _ = yield from comm.recv(source=None, tag=5)
+            return src
+
+        results = world.run(program)
+        assert results[1].value == 0
+
+    def test_tag_matching_out_of_order(self):
+        """A posted receive for tag B must not steal the tag-A message."""
+        world = make_world(ppn=1)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 1, 64, payload="first")
+                yield from comm.send(1, 2, 64, payload="second")
+                return None
+            p2, *_ = yield from comm.recv(0, 2)
+            p1, *_ = yield from comm.recv(0, 1)
+            return (p1, p2)
+
+        results = world.run(program)
+        assert results[1].value == ("first", "second")
+
+    def test_sendrecv_no_deadlock_on_exchange(self):
+        world = make_world(ppn=1)
+
+        def program(comm):
+            other = 1 - comm.rank
+            buf = comm.proc.malloc(MB)
+            res = yield from comm.sendrecv(
+                other, 9, 128 * KB, source=other, recvtag=9,
+                send_addr=buf, recv_addr=buf, payload=f"from{comm.rank}",
+            )
+            return res[0]
+
+        results = world.run(program)
+        assert results[0].value == "from1"
+        assert results[1].value == "from0"
+
+    def test_rdma_recv_without_buffer_raises(self):
+        world = make_world(ppn=1)
+
+        def program(comm):
+            buf = comm.proc.malloc(MB)
+            if comm.rank == 0:
+                yield from comm.send(1, 3, 256 * KB, addr=buf)
+                return None
+            yield from comm.recv(0, 3, addr=None)
+
+        with pytest.raises(ValueError, match="receive buffer"):
+            world.run(program)
+
+    def test_send_to_self_rejected(self):
+        world = make_world(ppn=1)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(0, 1, 8)
+            return None
+            yield
+
+        with pytest.raises(ValueError):
+            world.run(program)
+
+
+class TestLazyDereg:
+    def _run(self, lazy):
+        world = make_world(ppn=1, lazy_dereg=lazy)
+        stats = {}
+
+        def program(comm):
+            other = 1 - comm.rank
+            buf = comm.proc.malloc(MB)
+            t0 = comm.kernel.now
+            for i in range(4):
+                yield from comm.sendrecv(
+                    other, 11, 512 * KB, source=other, recvtag=11,
+                    send_addr=buf, recv_addr=buf,
+                )
+            if comm.rank == 0:
+                stats["ticks"] = comm.kernel.now - t0
+                stats["hits"] = comm.endpoint.regcache.hits
+                stats["misses"] = comm.endpoint.regcache.misses
+            return None
+
+        world.run(program)
+        return stats
+
+    def test_cache_hits_after_first_iteration(self):
+        stats = self._run(lazy=True)
+        assert stats["misses"] <= 2  # first send + first recv ranges
+        assert stats["hits"] >= 6
+
+    def test_disabled_cache_registers_every_time(self):
+        stats = self._run(lazy=False)
+        assert stats["hits"] == 0
+        assert stats["misses"] >= 8
+
+    def test_lazy_dereg_is_faster(self):
+        """Fig 5's two cases: the registration overhead per message."""
+        t_lazy = self._run(lazy=True)["ticks"]
+        t_eager = self._run(lazy=False)["ticks"]
+        assert t_eager > 1.05 * t_lazy
+
+
+class TestProfiler:
+    def test_comm_compute_split(self):
+        world = make_world(ppn=1)
+
+        def program(comm):
+            yield from comm.compute_ticks(10_000)
+            other = 1 - comm.rank
+            buf = comm.proc.malloc(MB)
+            yield from comm.sendrecv(other, 1, 64 * KB, source=other,
+                                     recvtag=1, send_addr=buf, recv_addr=buf)
+            return None
+
+        results = world.run(program)
+        prof = results[0].profiler
+        assert prof.compute_ticks >= 10_000
+        assert prof.comm_ticks > 0
+        assert "MPI_Sendrecv" in prof.summary()
+        assert prof.app_ticks >= prof.comm_ticks
+
+    def test_deadlock_detection(self):
+        world = make_world(ppn=1)
+
+        def program(comm):
+            # everyone receives, nobody sends
+            yield from comm.recv(source=None, tag=99)
+
+        with pytest.raises(RuntimeError, match="did not finish"):
+            world.run(program)

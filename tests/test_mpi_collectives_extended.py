@@ -1,0 +1,112 @@
+"""Tests for the extended collective set (gather/scatter/scan) and the
+trace save/load utilities."""
+
+import numpy as np
+import pytest
+
+from repro.alloc import TraceOp, abinit_like_trace, load_trace, save_trace
+from repro.mpi import MPIWorld
+from repro.systems import Cluster, presets
+
+
+def run_collective(program, ppn=2, n_nodes=2):
+    cluster = Cluster(presets.opteron_infinihost_pcie(), n_nodes=n_nodes)
+    world = MPIWorld(cluster, ppn=ppn)
+    return world.run(program)
+
+
+class TestGather:
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_root_collects_in_rank_order(self, root):
+        def program(comm):
+            got = yield from comm.gather(root, 64, value=comm.rank * 11)
+            return got
+
+        results = run_collective(program)
+        assert results[root].value == [0, 11, 22, 33]
+        for r in results:
+            if r.rank != root:
+                assert r.value is None
+
+    def test_gather_numpy_values(self):
+        def program(comm):
+            got = yield from comm.gather(0, 64, value=np.full(3, comm.rank))
+            return got
+
+        results = run_collective(program)
+        for i, arr in enumerate(results[0].value):
+            assert np.array_equal(arr, np.full(3, i))
+
+
+class TestScatter:
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_every_rank_gets_its_element(self, root):
+        def program(comm):
+            values = [f"item-{d}" for d in range(comm.size)] \
+                if comm.rank == root else None
+            got = yield from comm.scatter(root, 64, values=values)
+            return got
+
+        results = run_collective(program)
+        for r in results:
+            assert r.value == f"item-{r.rank}"
+
+    def test_wrong_value_count_rejected(self):
+        def program(comm):
+            values = ["too", "few"] if comm.rank == 0 else None
+            yield from comm.scatter(0, 64, values=values)
+
+        with pytest.raises(Exception):
+            run_collective(program)
+
+
+class TestScan:
+    def test_inclusive_prefix_sum(self):
+        def program(comm):
+            got = yield from comm.scan(8, value=comm.rank + 1)
+            return got
+
+        results = run_collective(program)
+        expected = [1, 3, 6, 10]  # prefix sums of 1..4
+        assert [r.value for r in results] == expected
+
+    def test_scan_custom_op(self):
+        def program(comm):
+            got = yield from comm.scan(8, value=comm.rank, op=max)
+            return got
+
+        results = run_collective(program)
+        assert [r.value for r in results] == [0, 1, 2, 3]
+
+    def test_scan_single_rank(self):
+        def program(comm):
+            got = yield from comm.scan(8, value=42)
+            return got
+
+        results = run_collective(program, ppn=1, n_nodes=1)
+        assert results[0].value == 42
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        trace = abinit_like_trace(iterations=2)
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, str(path))
+        assert load_trace(str(path)) == trace
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"op": "malloc", "handle": 1, "size": 64}\n\n')
+        assert load_trace(str(path)) == [TraceOp("malloc", 1, 64)]
+
+    def test_bad_record_reported_with_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"op": "malloc", "handle": 1, "size": 64}\nnot-json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_trace(str(path))
+
+    def test_invalid_op_rejected_on_load(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"op": "explode", "handle": 1, "size": 64}\n')
+        with pytest.raises(ValueError):
+            load_trace(str(path))

@@ -1,0 +1,149 @@
+"""Tests for RDMA read and the read-based rendezvous protocol."""
+
+import numpy as np
+import pytest
+
+from repro.ib.hca import HCA
+from repro.ib.verbs import SGE, CompletionQueue, ProtectionDomain, SendWR
+from repro.mpi import MPIConfig, MPIWorld
+from repro.systems import Cluster, presets
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class TestRDMARead:
+    def run_read(self, corrupt_rkey=False):
+        cluster = Cluster(presets.opteron_infinihost_pcie(), 2)
+        k = cluster.kernel
+        a, b = cluster.nodes
+        pa, pb = a.new_process(), b.new_process()
+        src = pa.aspace.mmap(MB).start   # data lives at node A
+        dst = pb.aspace.mmap(MB).start   # node B pulls it
+        pd_a, pd_b = ProtectionDomain.fresh(), ProtectionDomain.fresh()
+        cq_sa, cq_ra = CompletionQueue(k), CompletionQueue(k)
+        cq_sb, cq_rb = CompletionQueue(k), CompletionQueue(k)
+        qa = a.hca.create_qp(pd_a, cq_sa, cq_ra)
+        qb = b.hca.create_qp(pd_b, cq_sb, cq_rb)
+        HCA.connect_pair(qa, a.hca, qb, b.hca)
+        got = {}
+
+        def exposer():
+            mr = yield from a.hca.register_memory(pa.aspace, pd_a, src, MB)
+            a.hca.rdma_exposed[(mr.rkey, src)] = "EXPOSED-DATA"
+            rkey = 0xBAD if corrupt_rkey else mr.rkey
+            k.process(reader(rkey))
+
+        def reader(rkey):
+            mr = yield from b.hca.register_memory(pb.aspace, pd_b, dst, MB)
+            yield from b.hca.post_send(
+                qb,
+                SendWR(wr_id=1, sges=[SGE(dst, 256 * KB, mr.lkey)],
+                       opcode="rdma_read", remote_addr=src, rkey=rkey),
+            )
+            wc = yield from b.hca.wait_completion(cq_sb)
+            got["status"] = wc.status
+            got["payload"] = wc.payload
+            got["bytes"] = wc.byte_len
+
+        k.process(exposer())
+        k.run()
+        return got
+
+    def test_read_pulls_exposed_payload(self):
+        got = self.run_read()
+        assert got == {"status": "success", "payload": "EXPOSED-DATA",
+                       "bytes": 256 * KB}
+
+    def test_bad_rkey_fails(self):
+        got = self.run_read(corrupt_rkey=True)
+        assert got["status"] == "remote-access-error"
+        assert got["payload"] is None
+
+
+class TestReadRendezvous:
+    def _world(self, proto):
+        cluster = Cluster(presets.opteron_infinihost_pcie(), 2)
+        return MPIWorld(cluster, ppn=1,
+                        config=MPIConfig(rndv_protocol=proto))
+
+    def test_payload_delivery(self):
+        world = self._world("read")
+
+        def program(comm):
+            other = 1 - comm.rank
+            buf = comm.proc.malloc(MB)
+            if comm.rank == 0:
+                data = np.arange(16)
+                yield from comm.send(other, 3, 256 * KB, addr=buf, payload=data)
+                return None
+            payload, size, *_ = yield from comm.recv(0, 3, addr=buf)
+            return (payload.sum(), size)
+
+        results = world.run(program)
+        assert results[1].value == (np.arange(16).sum(), 256 * KB)
+
+    def test_invalid_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            MPIConfig(rndv_protocol="teleport")
+
+    def test_exposure_cleaned_up(self):
+        world = self._world("read")
+
+        def program(comm):
+            other = 1 - comm.rank
+            buf = comm.proc.malloc(MB)
+            if comm.rank == 0:
+                yield from comm.send(other, 3, 256 * KB, addr=buf, payload="x")
+            else:
+                yield from comm.recv(0, 3, addr=buf)
+            return len(comm.endpoint.hca.rdma_exposed)
+
+        results = world.run(program)
+        assert all(r.value == 0 for r in results)
+
+    def test_read_saves_a_control_message(self):
+        """The read scheme has RTS + FIN; write has RTS + CTS + FIN —
+        visible in the HCA message counters."""
+
+        def count_messages(proto):
+            cluster = Cluster(presets.opteron_infinihost_pcie(), 2)
+            world = MPIWorld(cluster, ppn=1,
+                             config=MPIConfig(rndv_protocol=proto))
+
+            def program(comm):
+                other = 1 - comm.rank
+                buf = comm.proc.malloc(MB)
+                if comm.rank == 0:
+                    yield from comm.send(other, 1, 256 * KB, addr=buf)
+                else:
+                    yield from comm.recv(0, 1, addr=buf)
+                return None
+
+            world.run(program)
+            return cluster.aggregate_counters().get("hca.tx_messages", 0)
+
+        assert count_messages("read") < count_messages("write")
+
+    def test_protocols_agree_on_steady_state_bandwidth(self):
+        def run(proto):
+            world = self._world(proto)
+            out = {}
+
+            def program(comm):
+                other = 1 - comm.rank
+                buf = comm.proc.malloc(8 * MB)
+                t0 = comm.kernel.now
+                for _ in range(3):
+                    yield from comm.sendrecv(other, 1, 4 * MB, source=other,
+                                             recvtag=1, send_addr=buf,
+                                             recv_addr=buf)
+                if comm.rank == 0:
+                    out["ticks"] = comm.kernel.now - t0
+                return None
+
+            world.run(program)
+            return out["ticks"]
+
+        t_write, t_read = run("write"), run("read")
+        assert t_read == pytest.approx(t_write, rel=0.05)

@@ -1,0 +1,212 @@
+"""Tests for the registration cache and datatype/SGE mapping."""
+
+import pytest
+
+from repro.ib.verbs import ProtectionDomain
+from repro.mpi.datatypes import PackedVector, pack_sges
+from repro.mpi.regcache import RegistrationCache
+from repro.systems import Cluster, presets
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def make_cache(enabled=True, capacity=None):
+    cluster = Cluster(presets.opteron_infinihost_pcie(), 2)
+    node = cluster.nodes[0]
+    proc = node.new_process()
+    cache = RegistrationCache(
+        node.hca, proc.aspace, ProtectionDomain.fresh(),
+        enabled=enabled, capacity_bytes=capacity,
+    )
+    return cluster.kernel, proc, cache
+
+
+def drive(kernel, gen):
+    """Run a generator to completion on the kernel, return its value."""
+    proc = kernel.process(gen)
+    kernel.run()
+    return proc.value
+
+
+class TestRegistrationCache:
+    def test_hit_on_exact_range(self):
+        kernel, proc, cache = make_cache()
+        buf = proc.aspace.mmap(MB).start
+
+        def scenario():
+            mr1 = yield from cache.acquire(buf, MB)
+            mr2 = yield from cache.acquire(buf, MB)
+            return mr1, mr2
+
+        mr1, mr2 = drive(kernel, scenario())
+        assert mr1 is mr2
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_hit_on_contained_range(self):
+        kernel, proc, cache = make_cache()
+        buf = proc.aspace.mmap(MB).start
+
+        def scenario():
+            yield from cache.acquire(buf, MB)
+            mr = yield from cache.acquire(buf + 100 * KB, 100 * KB)
+            return mr
+
+        drive(kernel, scenario())
+        assert cache.hits == 1
+
+    def test_hit_is_free_in_time(self):
+        kernel, proc, cache = make_cache()
+        buf = proc.aspace.mmap(MB).start
+
+        def scenario():
+            yield from cache.acquire(buf, MB)
+            t0 = kernel.now
+            yield from cache.acquire(buf, MB)
+            return kernel.now - t0
+
+        assert drive(kernel, scenario()) == 0
+
+    def test_disabled_cache_always_registers(self):
+        kernel, proc, cache = make_cache(enabled=False)
+        buf = proc.aspace.mmap(MB).start
+
+        def scenario():
+            mr1 = yield from cache.acquire(buf, MB)
+            yield from cache.release(mr1)
+            mr2 = yield from cache.acquire(buf, MB)
+            yield from cache.release(mr2)
+
+        drive(kernel, scenario())
+        assert cache.misses == 2
+        assert len(cache) == 0
+
+    def test_capacity_evicts_lru(self):
+        kernel, proc, cache = make_cache(capacity=2 * MB)
+        bufs = [proc.aspace.mmap(MB).start for _ in range(3)]
+
+        def scenario():
+            for b in bufs:
+                yield from cache.acquire(b, MB)
+
+        drive(kernel, scenario())
+        assert cache.cached_bytes <= 2 * MB
+        assert cache.counters["regcache.evict"] == 1
+
+    def test_invalidate_range_unpins(self):
+        kernel, proc, cache = make_cache()
+        vma = proc.aspace.mmap(MB)
+
+        def scenario():
+            yield from cache.acquire(vma.start, MB)
+
+        drive(kernel, scenario())
+        dropped = cache.invalidate_range(vma.start, MB)
+        assert dropped == 1
+        proc.aspace.munmap(vma.start)  # possible only if unpinned
+
+    def test_invalidate_ignores_disjoint(self):
+        kernel, proc, cache = make_cache()
+        a = proc.aspace.mmap(MB)
+        b = proc.aspace.mmap(MB)
+
+        def scenario():
+            yield from cache.acquire(a.start, MB)
+
+        drive(kernel, scenario())
+        assert cache.invalidate_range(b.start, MB) == 0
+        assert len(cache) == 1
+
+    def test_unmap_hook_integration(self):
+        """Freeing an mmap-backed buffer must invalidate the cache (the
+        paper's motivation for hooking unmap, not free)."""
+        from repro.mpi import MPIConfig, MPIWorld
+
+        cluster = Cluster(presets.opteron_infinihost_pcie(), 2)
+        world = MPIWorld(cluster, ppn=1)
+
+        def program(comm):
+            other = 1 - comm.rank
+            for _ in range(3):
+                buf = comm.proc.malloc(512 * KB)  # libc mmap path
+                yield from comm.sendrecv(other, 4, 256 * KB, source=other,
+                                         recvtag=4, send_addr=buf, recv_addr=buf)
+                comm.proc.free(buf)  # munmap -> hook -> invalidate
+            return comm.endpoint.regcache.misses
+
+        results = world.run(program)
+        # every iteration re-registers: the cache never helps here
+        assert all(r.value >= 3 for r in results)
+
+    def test_flush(self):
+        kernel, proc, cache = make_cache()
+        buf = proc.aspace.mmap(MB).start
+
+        def scenario():
+            yield from cache.acquire(buf, MB)
+            yield from cache.flush()
+
+        drive(kernel, scenario())
+        assert len(cache) == 0
+
+
+class TestPackedVector:
+    def test_blocks(self):
+        v = PackedVector(base=0x1000, count=3, block_bytes=64, stride_bytes=256)
+        assert v.blocks() == [(0x1000, 64), (0x1100, 64), (0x1200, 64)]
+        assert v.total_bytes == 192
+        assert v.span_bytes == 2 * 256 + 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PackedVector(base=0, count=0, block_bytes=64, stride_bytes=256)
+        with pytest.raises(ValueError):
+            PackedVector(base=0, count=2, block_bytes=64, stride_bytes=32)
+
+    def test_pack_sges(self):
+        sges = pack_sges([(0x1000, 64), (0x2000, 32)], lkey=7)
+        assert [(s.addr, s.length, s.lkey) for s in sges] == [
+            (0x1000, 64, 7), (0x2000, 32, 7)
+        ]
+
+    def test_pack_sges_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pack_sges([], lkey=1)
+
+
+class TestSGEPackedSend:
+    """The §7 feature: non-contiguous sends through SGE lists vs CPU pack."""
+
+    def _run(self, use_sge):
+        from repro.ib.verbs import ProtectionDomain
+        from repro.mpi import MPIConfig, MPIWorld
+
+        cluster = Cluster(presets.opteron_infinihost_pcie(), 2)
+        world = MPIWorld(cluster, ppn=1, config=MPIConfig(use_sge_pack=use_sge))
+        out = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                vma = comm.proc.aspace.mmap(64 * KB)
+                mr = yield from comm.endpoint.regcache.acquire(vma.start, 64 * KB)
+                blocks = [(vma.start + i * 4096, 1500) for i in range(4)]
+                t0 = comm.kernel.now
+                yield from comm.send_packed(1, 5, blocks, mr, payload="packed")
+                out["ticks"] = comm.kernel.now - t0
+                return None
+            payload, size, _, _ = yield from comm.recv(0, 5)
+            return (payload, size)
+
+        results = world.run(program)
+        return results[1].value, out["ticks"]
+
+    def test_payload_identical_both_modes(self):
+        (p_sge, s_sge), _ = self._run(True)
+        (p_cpu, s_cpu), _ = self._run(False)
+        assert p_sge == p_cpu == "packed"
+        assert s_sge == s_cpu == 6000
+
+    def test_sge_mode_skips_copy(self):
+        _, t_sge = self._run(True)
+        _, t_cpu = self._run(False)
+        assert t_sge < t_cpu

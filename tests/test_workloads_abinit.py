@@ -1,0 +1,51 @@
+"""Tests for the Abinit-like application workload."""
+
+import pytest
+
+from repro.systems import presets
+from repro.workloads.abinit import compare_allocators, run_abinit
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_allocators(presets.opteron_infinihost_pcie, iterations=8)
+
+
+class TestAbinitWorkload:
+    def test_both_runs_complete(self, comparison):
+        assert set(comparison) == {"libc", "hugepage_lib"}
+        for r in comparison.values():
+            assert r.total_ns > 0
+            assert r.alloc_ns > 0
+            assert r.compute_ns > 0
+
+    def test_library_cuts_allocator_time(self, comparison):
+        """§2: allocator-time benefit approaching an order of magnitude."""
+        ratio = comparison["libc"].alloc_ns / comparison["hugepage_lib"].alloc_ns
+        assert ratio > 5.0
+
+    def test_allocator_saving_is_percent_scale(self, comparison):
+        """§3.2: 'improved application runtime by 1.5 %' — allocator time
+        alone is a small single-digit share of runtime."""
+        libc = comparison["libc"]
+        lib = comparison["hugepage_lib"]
+        saving_pct = (libc.alloc_ns - lib.alloc_ns) / libc.total_ns * 100
+        assert 0.3 < saving_pct < 8.0
+
+    def test_total_runtime_improves(self, comparison):
+        assert comparison["hugepage_lib"].total_ns < comparison["libc"].total_ns
+
+    def test_alloc_fraction_property(self, comparison):
+        r = comparison["libc"]
+        assert r.alloc_fraction == pytest.approx(r.alloc_ns / r.total_ns)
+
+    def test_deterministic(self):
+        a = run_abinit(presets.opteron_infinihost_pcie(), hugepages=False,
+                       iterations=4)
+        b = run_abinit(presets.opteron_infinihost_pcie(), hugepages=False,
+                       iterations=4)
+        assert a.total_ns == b.total_ns
+
+    def test_allocator_names(self, comparison):
+        assert comparison["libc"].allocator == "libc"
+        assert comparison["hugepage_lib"].allocator == "hugepage_lib"
