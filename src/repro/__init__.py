@@ -24,6 +24,9 @@ The package models, in pure Python, every layer the paper touches:
 - :mod:`repro.workloads` — IMB SendRecv, mini NAS kernels (CG/EP/IS/LU/MG)
   and an Abinit-like allocation trace.
 - :mod:`repro.analysis` — PAPI-like counters and report formatting.
+- :mod:`repro.faults` — deterministic fault injection: lossy links,
+  registration failures, mid-run hugepage depletion, and the QP
+  retry/timeout machinery that recovers from them.
 
 Quickstart::
 

@@ -2,9 +2,9 @@
 communication-cost breakdowns."""
 
 from repro.analysis.counters import CounterSet
-from repro.analysis.report import Table, format_series
+from repro.analysis.report import Table, degradation_report, format_series
 
-__all__ = ["CounterSet", "Table", "format_series"]
+__all__ = ["CounterSet", "Table", "degradation_report", "format_series"]
 
 
 def __getattr__(name):

@@ -95,3 +95,77 @@ def percent_change(before: float, after: float) -> float:
     if before == 0:
         raise ValueError("before must be non-zero")
     return (before - after) / before * 100.0
+
+
+#: how each fault counter is classified in the degradation report
+_INJECTED_PREFIXES = ("faults.link.dropped", "faults.link.corrupted",
+                      "faults.reg.", "faults.mem.")
+_RECOVERED_PREFIXES = ("faults.qp.retries", "faults.qp.rnr_naks",
+                       "faults.qp.duplicates", "faults.qp.stale_acks",
+                       "faults.link.rejected", "faults.regcache.")
+_ABORTED_PREFIXES = ("faults.qp.retry_exhausted", "faults.qp.flushed")
+
+
+def degradation_report(counters, clock=None) -> str:
+    """Summarize a run's fault/degradation counters as an ASCII report.
+
+    *counters* is a dotted-name → value mapping (a ``CounterSet``
+    snapshot or :meth:`~repro.systems.machine.Cluster.
+    aggregate_counters` output).  Counters are grouped into what was
+    *injected* (faults that fired), what was *recovered* (retransmitted,
+    retried, deduplicated), what was *aborted* (errors surfaced to the
+    application) and how placement *degraded* (hugepage → base-page
+    fallbacks).  Pass the cluster's *clock* to render recovery latency
+    in microseconds.
+    """
+    fault_items = {
+        name: value for name, value in sorted(counters.items())
+        if name.startswith("faults.") or ".fallback" in name
+    }
+    if not any(fault_items.values()):
+        return "degradation: no faults injected, no degraded modes entered"
+
+    def classify(name: str) -> str:
+        if ".fallback" in name:
+            return "degraded"
+        for prefix in _ABORTED_PREFIXES:
+            if name.startswith(prefix):
+                return "aborted"
+        for prefix in _RECOVERED_PREFIXES:
+            if name.startswith(prefix):
+                return "recovered"
+        for prefix in _INJECTED_PREFIXES:
+            if name.startswith(prefix):
+                return "injected"
+        return "injected"
+
+    table = Table(["class", "counter", "count"], title="degradation report")
+    for phase in ("injected", "recovered", "aborted", "degraded"):
+        for name, value in fault_items.items():
+            if name == "faults.qp.recovery_ticks" or not value:
+                continue
+            if classify(name) == phase:
+                table.add_row([phase, name, value])
+    lines = [table.render()]
+    recovery = fault_items.get("faults.qp.recovery_ticks", 0)
+    retries = fault_items.get("faults.qp.retries", 0)
+    if recovery and retries:
+        if clock is not None:
+            lines.append(
+                f"recovery latency: {clock.ticks_to_us(recovery):.1f} us "
+                f"total across {retries} retransmissions "
+                f"({clock.ticks_to_us(recovery) / retries:.1f} us each)"
+            )
+        else:
+            lines.append(
+                f"recovery latency: {recovery} ticks total across "
+                f"{retries} retransmissions"
+            )
+    aborted = sum(v for n, v in fault_items.items()
+                  if classify(n) == "aborted")
+    if aborted:
+        lines.append(
+            f"WARNING: {aborted} operation(s) aborted with error "
+            "completions (retry budget exhausted or queue flushed)"
+        )
+    return "\n".join(lines)

@@ -12,9 +12,14 @@
     python -m repro tlb  [--class B]     # §5.2 TLB miss counts
     python -m repro abinit               # the allocator comparison
     python -m repro breakdown [--mb 4]   # per-component message costs
+    python -m repro faults               # fault-injection demo + report
 
 Each command prints the same rows/series the paper reports.  The heavier
 NAS commands accept ``--class W|B|C`` (the benchmark suite uses C).
+
+``fig5``, ``pingpong`` and ``faults`` accept ``--fault-plan
+key=value,...`` and ``--fault-seed N`` to run under injected faults
+(see :mod:`repro.faults` and ``docs/fault_model.md``).
 """
 
 from __future__ import annotations
@@ -63,6 +68,19 @@ def _cmd_fig4(args) -> None:
     print(table.render())
 
 
+def _parse_fault_plan(args):
+    """The FaultPlan from ``--fault-plan``/``--fault-seed``, or None."""
+    from repro.faults import FaultPlan
+
+    spec = getattr(args, "fault_plan", None)
+    if spec is None:
+        return None
+    try:
+        return FaultPlan.from_spec(spec, seed=getattr(args, "fault_seed", 0))
+    except ValueError as exc:
+        raise SystemExit(f"error: --fault-plan: {exc}")
+
+
 def _cmd_fig5(args) -> None:
     from repro.analysis.report import Table
     from repro.systems import presets
@@ -71,16 +89,20 @@ def _cmd_fig5(args) -> None:
     sizes = [1 * KB, 4 * KB, 8 * KB, 16 * KB, 64 * KB, 256 * KB, 1 * MB,
              4 * MB]
     bench = SendRecvBenchmark(presets.opteron_infinihost_pcie)
+    plan = _parse_fault_plan(args)
     curves = {
         "small pages": (False, True),
         "hugepages": (True, True),
         "small, no lazy dereg": (False, False),
         "huge, no lazy dereg": (True, False),
     }
-    results = {label: bench.run(sizes, hugepages=hp, lazy_dereg=lazy)
+    results = {label: bench.run(sizes, hugepages=hp, lazy_dereg=lazy,
+                                fault_plan=plan)
                for label, (hp, lazy) in curves.items()}
-    table = Table(["size [KB]"] + list(curves),
-                  title="Fig 5: IMB SendRecv bandwidth [MB/s] (AMD Opteron)")
+    title = "Fig 5: IMB SendRecv bandwidth [MB/s] (AMD Opteron)"
+    if plan is not None:
+        title += f" under faults: {args.fault_plan}"
+    table = Table(["size [KB]"] + list(curves), title=title)
     for size in sizes:
         table.add_row([size // KB] + [results[l].bandwidth_at(size)
                                       for l in curves])
@@ -194,8 +216,9 @@ def _cmd_pingpong(args) -> None:
 
     sizes = [64, 1 * KB, 8 * KB, 64 * KB, 1 * MB]
     bench = PingPongBenchmark(presets.opteron_infinihost_pcie)
-    small = bench.run(sizes, hugepages=False)
-    huge = bench.run(sizes, hugepages=True)
+    plan = _parse_fault_plan(args)
+    small = bench.run(sizes, hugepages=False, fault_plan=plan)
+    huge = bench.run(sizes, hugepages=True, fault_plan=plan)
     table = Table(
         ["size [B]", "4K pages [us]", "2M pages [us]"],
         title="IMB PingPong half-RTT latency (Opteron)",
@@ -227,6 +250,66 @@ def _cmd_breakdown(args) -> None:
     print(table.render())
 
 
+def _cmd_faults(args) -> None:
+    """Demo: a rendezvous workload over a lossy link, with and without
+    faults, plus the degradation report (the ISSUE's acceptance demo)."""
+    from repro.analysis.report import degradation_report
+    from repro.core.placement import BufferPlacer, PlacementPolicy
+    from repro.faults import MPITransportError
+    from repro.mpi.api import MPIConfig, MPIWorld
+    from repro.systems import presets
+    from repro.systems.machine import Cluster
+
+    n_msgs, size = 8, 64 * KB
+    expected = [("msg", i) for i in range(n_msgs)]
+
+    def program(comm):
+        placer = BufferPlacer(comm.proc)
+        buf = placer.place(size, PlacementPolicy.SMALL_PAGES, offset=0)
+        if comm.rank == 0:
+            for i in range(n_msgs):
+                yield from comm.send(1, 10 + i, size, addr=buf.addr,
+                                     payload=("msg", i))
+            return None
+        got = []
+        for i in range(n_msgs):
+            payload, *_ = yield from comm.recv(0, 10 + i, addr=buf.addr)
+            got.append(payload)
+        return got
+
+    def run(plan):
+        cluster = Cluster(presets.opteron_infinihost_pcie(), n_nodes=2,
+                          fault_plan=plan)
+        world = MPIWorld(cluster, ppn=1, config=MPIConfig())
+        results = world.run(program)
+        # app_ticks, not kernel.now: trailing watchdog timers keep the
+        # kernel busy after the ranks have finished
+        return cluster, results, max(r.app_ticks for r in results)
+
+    plan = _parse_fault_plan(args)
+    base_cluster, _, base_ticks = run(None)
+    clock = base_cluster.clock
+    print(f"workload: {n_msgs} x {size // KB} KB rendezvous transfers, "
+          f"rank 0 -> rank 1")
+    print(f"fault plan: {args.fault_plan} (seed {args.fault_seed})")
+    print(f"fault-free time: {clock.ticks_to_us(base_ticks):.1f} us")
+    try:
+        cluster, results, ticks = run(plan)
+    except MPITransportError as exc:
+        # the plan's retry budget was exhausted: a legal, clean outcome
+        print(f"with faults:     ABORTED ({exc})")
+        raise SystemExit(1)
+    ok = results[1].value == expected
+    print(f"with faults:     {clock.ticks_to_us(ticks):.1f} us "
+          f"({ticks / base_ticks:.2f}x)")
+    print("payload integrity: "
+          + ("OK, every message correct" if ok else "FAILED"))
+    print()
+    print(degradation_report(cluster.aggregate_counters(), clock=clock))
+    if not ok:
+        raise SystemExit(1)
+
+
 COMMANDS = {
     "fig3": (_cmd_fig3, "Fig 3: SGE-count/size sweep (verbs level)"),
     "fig4": (_cmd_fig4, "Fig 4: in-page offset sweep"),
@@ -238,6 +321,7 @@ COMMANDS = {
     "abinit": (_cmd_abinit, "§2/§3.2: the allocator comparison"),
     "pingpong": (_cmd_pingpong, "IMB PingPong latency view (companion)"),
     "breakdown": (_cmd_breakdown, "per-component message cost analysis"),
+    "faults": (_cmd_faults, "fault-injection demo: lossy link + report"),
 }
 
 
@@ -259,6 +343,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name == "breakdown":
             p.add_argument("--mb", type=float, default=4.0,
                            help="message size in MB")
+        if name in ("fig5", "pingpong", "faults"):
+            default_plan = "link_loss=0.01" if name == "faults" else None
+            p.add_argument("--fault-plan", dest="fault_plan",
+                           default=default_plan, metavar="SPEC",
+                           help="fault plan, e.g. link_loss=0.01,"
+                                "reg_transient=0.1 (see repro.faults)")
+            p.add_argument("--fault-seed", dest="fault_seed", type=int,
+                           default=0, help="fault injector RNG seed")
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         for name, (_fn, help_text) in COMMANDS.items():

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.config import PlacementConfig
+from repro.mem.hugetlbfs import HugePagePoolExhausted
 from repro.mem.physical import PAGE_2M, PAGE_4K
 from repro.systems.machine import OSProcess
 
@@ -83,8 +84,17 @@ class BufferPlacer:
         if not 0 <= offset < PAGE_4K:
             raise ValueError(f"offset {offset} outside the first page")
         page_size = self._page_size_for(size, policy)
-        vma = self.proc.aspace.mmap(size + offset, page_size=page_size,
-                                    name=f"placed-{policy.value}")
+        try:
+            vma = self.proc.aspace.mmap(size + offset, page_size=page_size,
+                                        name=f"placed-{policy.value}")
+        except HugePagePoolExhausted:
+            # libhugetlbfs-style degradation: when the pool runs dry
+            # mid-run, fall back to base pages rather than failing the
+            # allocation — slower, never wrong
+            page_size = PAGE_4K
+            self.proc.counters.add("alloc.placer.fallback")
+            vma = self.proc.aspace.mmap(size + offset, page_size=page_size,
+                                        name=f"placed-{policy.value}")
         buf = PlacedBuffer(
             addr=vma.start + offset, size=size, page_size=page_size,
             vma_start=vma.start,

@@ -32,12 +32,13 @@ Xeon system.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Generator, Optional, Set, Tuple
 
 from repro.analysis.counters import CounterSet
 from repro.engine.clock import TickClock
 from repro.engine.core import SimKernel
+from repro.faults import FaultInjector
 from repro.ib.att import ATTCache
 from repro.ib.bus import BusModel
 from repro.ib.link import IBLink
@@ -108,6 +109,9 @@ class _Packet:
     rkey: int = 0
     status: str = "success"
     stream_ns: float = 0.0
+    #: set by fault injection: the payload fails the receiver's ICRC
+    #: check and the whole message is discarded on arrival
+    corrupt: bool = False
 
 
 class Wire:
@@ -151,6 +155,7 @@ class HCA:
         config: Optional[HCAConfig] = None,
         counters: Optional[CounterSet] = None,
         name: str = "hca",
+        faults: Optional[FaultInjector] = None,
     ):
         self.kernel = kernel
         self.clock = clock
@@ -161,6 +166,16 @@ class HCA:
         self.config = config if config is not None else HCAConfig()
         self.counters = counters if counters is not None else CounterSet()
         self.name = name
+        #: fault injector, or None.  Kept None unless the plan is active
+        #: so every fault hook below reduces to one ``is not None`` test
+        #: on the fault-free path — fault machinery costs nothing off.
+        self.faults = faults if (faults is not None and faults.active) else None
+        #: inbound send/rdma_write seqs being processed right now (the
+        #: window where a sender's retransmission means RNR, not loss)
+        self._rx_inflight: Set[int] = set()
+        #: inbound seqs fully processed, mapped to their ack status so a
+        #: duplicate retransmission is re-acked, never re-executed
+        self._rx_seen: Dict[int, str] = {}
         self._wires: Dict[int, Wire] = {}
         self._qps: Dict[int, QueuePair] = {}
         self._mrs_by_lkey: Dict[int, MemoryRegion] = {}
@@ -232,6 +247,12 @@ class HCA:
     ) -> QueuePair:
         """Create a QP and start its send engine."""
         qp = QueuePair(self.kernel, pd, send_cq, recv_cq)
+        if self.faults is not None:
+            plan = self.faults.plan
+            qp.retry_cnt = plan.retry_cnt
+            qp.rnr_retry = plan.rnr_retry
+            if plan.ack_timeout_ns is not None:
+                qp.ack_timeout_ns = plan.ack_timeout_ns
         self._qps[qp.qp_num] = qp
         self.kernel.process(self._send_loop(qp), name=f"{self.name}-sq{qp.qp_num}")
         return qp
@@ -241,7 +262,10 @@ class HCA:
         """Post a send WR: WQE build + doorbell (the paper's near-constant
         'post' cost), then hand off to the adapter."""
         if not qp.connected:
-            raise IBVerbsError(f"QP {qp.qp_num} is not connected")
+            raise IBVerbsError(
+                f"post_send on QP {qp.qp_num} in state {qp.state} "
+                "(RTS required)"
+            )
         if len(wr.sges) > qp.max_sge:
             raise IBVerbsError(f"{len(wr.sges)} SGEs exceeds QP max of {qp.max_sge}")
         for sge in wr.sges:
@@ -312,6 +336,12 @@ class HCA:
 
     def _handle_send(self, qp: QueuePair, wr: SendWR) -> Generator:
         cfg = self.config
+        if not qp.connected:
+            # the QP left RTS (SQE/ERROR after retry exhaustion) while
+            # this WR sat in the send queue: flush it with an error CQE,
+            # as real RC QPs do for queued work in an error state
+            yield from self._flush_send(qp, wr)
+            return
         # WQE fetch is a short exclusive bus read
         yield self.bus.read_channel.request()
         try:
@@ -350,11 +380,16 @@ class HCA:
         if wr.opcode != "rdma_read":
             self.counters.add("hca.tx_bytes", wr.total_bytes)
         wire = self.wire_to(qp.peer_hca)
-        wire.deliver(
-            self,
+        self._deliver(
+            wire,
             packet,
             self.clock.ns_to_ticks(cfg.process_ns + self.link.config.latency_ns),
         )
+        if self.faults is not None:
+            self.kernel.process(
+                self._retry_watchdog(qp, packet, wire),
+                name=f"{self.name}-watchdog-{packet.seq}",
+            )
         # the send engine (and the bus read channel) stay busy for the
         # whole gather; the next WR on this QP starts after it
         yield self.bus.read_channel.request()
@@ -363,13 +398,155 @@ class HCA:
         finally:
             self.bus.read_channel.release()
 
+    def _flush_send(self, qp: QueuePair, wr: SendWR) -> Generator:
+        """Complete a queued WR with a flush error (QP not in RTS)."""
+        if self.faults is not None:
+            self.faults.counters.add("faults.qp.flushed")
+        yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.cqe_write_ns))
+        qp.send_cq.store.put(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=wr.opcode,
+                byte_len=wr.total_bytes,
+                status="work-request-flushed-error",
+            )
+        )
+        qp.wr_slots.release()
+
+    # -- fault injection & RC retransmission ---------------------------------
+    def _deliver(self, wire: Wire, packet: _Packet, delay_ticks: int) -> None:
+        """Put *packet* on *wire*, subject to injected loss/corruption.
+
+        A dropped packet simply never arrives; a corrupted one arrives
+        flagged and is discarded by the receiver's ICRC check.  Both are
+        recovered by the sender's ack-timeout watchdog.
+        """
+        faults = self.faults
+        if faults is not None:
+            # acks and read *requests* are single small packets; the
+            # read data rides in the response
+            if packet.nbytes and packet.kind not in ("ack", "rdma_read"):
+                n_packets = self.link.packets_for(packet.nbytes)
+            else:
+                n_packets = 1
+            if faults.message_dropped(n_packets):
+                return
+            if faults.message_corrupted(n_packets):
+                packet = replace(packet, corrupt=True)
+        wire.deliver(self, packet, delay_ticks)
+
+    def _retry_watchdog(self, qp: QueuePair, packet: _Packet, wire: Wire) -> Generator:
+        """Ack-timeout timer for one outbound message (runs only when
+        fault injection is active).
+
+        Sleeps for the QP's ack timeout (scaled so a clean exchange of
+        this message always beats the timer), then: done if the ack
+        arrived; an RNR wait if the receiver holds the message awaiting
+        a receive WR (honouring ``rnr_retry``, where 7 = forever);
+        otherwise a retransmission with exponential backoff, up to
+        ``retry_cnt`` attempts before the send completes with a
+        transport-retry-exceeded error CQE.
+        """
+        cfg = self.config
+        link = self.link
+        # floor: one full round trip of this message with margin — the
+        # IB Local Ack Timeout is likewise quantized well above the RTT
+        base_ns = max(
+            qp.ack_timeout_ns,
+            3.0
+            * (
+                cfg.process_ns
+                + link.config.latency_ns
+                + packet.stream_ns
+                + link.ack_ns()
+                + cfg.recv_wqe_ns
+                + cfg.cqe_write_ns
+            ),
+        )
+        base_ticks = max(1, self.clock.ns_to_ticks(base_ns))
+        t0 = self.kernel.now
+        attempts = 0
+        rnr_waits = 0
+        while True:
+            yield self.kernel.timeout(base_ticks << min(attempts, 6))
+            if packet.seq not in self._outstanding:
+                # acked (or aborted elsewhere); record how long recovery
+                # took if we actually had to retransmit
+                if attempts:
+                    self.faults.counters.add(
+                        "faults.qp.recovery_ticks", self.kernel.now - t0
+                    )
+                return
+            peer = qp.peer_hca
+            if peer is not None and packet.seq in peer._rx_inflight:
+                # delivered but waiting on a receive WR: the RNR NAK
+                # path, governed by rnr_retry (7 = retry forever)
+                self.faults.counters.add("faults.qp.rnr_naks")
+                rnr_waits += 1
+                if qp.rnr_retry != 7 and rnr_waits > qp.rnr_retry:
+                    yield from self._abort_send(
+                        qp, packet, "rnr-retry-exceeded-error"
+                    )
+                    return
+                continue
+            if attempts >= qp.retry_cnt:
+                yield from self._abort_send(
+                    qp, packet, "transport-retry-exceeded-error"
+                )
+                return
+            attempts += 1
+            self.faults.counters.add("faults.qp.retries")
+            self._deliver(
+                wire,
+                packet,
+                self.clock.ns_to_ticks(cfg.process_ns + link.config.latency_ns),
+            )
+
+    def _abort_send(self, qp: QueuePair, packet: _Packet, status: str) -> Generator:
+        """Give up on an outbound message: error CQE, QP drops to SQE."""
+        entry = self._outstanding.pop(packet.seq, None)
+        if entry is None:
+            return
+        _, wr = entry
+        self.faults.counters.add("faults.qp.retry_exhausted")
+        if qp.state == "RTS":
+            qp.modify("SQE")
+        yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.cqe_write_ns))
+        qp.send_cq.store.put(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=wr.opcode,
+                byte_len=wr.total_bytes,
+                status=status,
+            )
+        )
+        qp.wr_slots.release()
+
     # -- adapter receive pipeline ------------------------------------------------------------
     def _on_arrival(self, packet: _Packet, wire: Wire) -> None:
+        if packet.corrupt:
+            # failed the ICRC check: discard silently; the sender's
+            # ack-timeout watchdog retransmits
+            if self.faults is not None:
+                self.faults.counters.add("faults.link.rejected")
+            return
         self.kernel.process(
             self._receive(packet, wire), name=f"{self.name}-rx-{packet.kind}"
         )
 
     def _receive(self, packet: _Packet, wire: Wire) -> Generator:
+        if self.faults is not None and packet.kind in ("send", "rdma_write"):
+            # retransmissions must be idempotent: a message being
+            # processed is left alone (the sender sees RNR), a message
+            # already processed is re-acked with its recorded status
+            if packet.seq in self._rx_inflight:
+                self.faults.counters.add("faults.qp.duplicates")
+                return
+            if packet.seq in self._rx_seen:
+                self.faults.counters.add("faults.qp.duplicates")
+                self._send_ack(packet, self._rx_seen[packet.seq], wire)
+                return
+            self._rx_inflight.add(packet.seq)
         if packet.kind == "ack":
             yield from self._complete_send(packet)
         elif packet.kind == "send":
@@ -386,6 +563,11 @@ class HCA:
     def _complete_send(self, packet: _Packet) -> Generator:
         entry = self._outstanding.pop(packet.seq, None)
         if entry is None:
+            if self.faults is not None:
+                # a duplicate ack for a message already completed (or
+                # aborted): expected under retransmission, drop it
+                self.faults.counters.add("faults.qp.stale_acks")
+                return
             raise IBVerbsError(f"ack for unknown sequence {packet.seq}")
         qp, wr = entry
         yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.cqe_write_ns))
@@ -455,6 +637,7 @@ class HCA:
                 payload=packet.payload,
             )
         )
+        self._rx_done(packet, status)
         self._send_ack(packet, status, wire)
 
     def _receive_rdma_write(self, packet: _Packet, wire: Wire) -> Generator:
@@ -481,6 +664,7 @@ class HCA:
             self.rdma_landed[(packet.rkey, packet.remote_addr)] = packet.payload
             self.counters.add("hca.rx_messages")
             self.counters.add("hca.rx_bytes", packet.nbytes)
+        self._rx_done(packet, status)
         self._send_ack(packet, status, wire)
 
     def _receive_read_request(self, packet: _Packet, wire: Wire) -> Generator:
@@ -518,8 +702,8 @@ class HCA:
             status=status,
             stream_ns=max(gather_ns, ser_ns),
         )
-        wire.deliver(
-            self, response,
+        self._deliver(
+            wire, response,
             self.clock.ns_to_ticks(
                 self.config.process_ns + self.link.config.latency_ns
             ),
@@ -535,6 +719,10 @@ class HCA:
         """Initiator half: scatter the returned data locally, complete."""
         entry = self._outstanding.pop(packet.seq, None)
         if entry is None:
+            if self.faults is not None:
+                # duplicate response from a retransmitted read request
+                self.faults.counters.add("faults.qp.stale_acks")
+                return
             raise IBVerbsError(f"read response for unknown seq {packet.seq}")
         qp, wr = entry
         if packet.status == "success":
@@ -558,6 +746,13 @@ class HCA:
         )
         qp.wr_slots.release()
 
+    def _rx_done(self, packet: _Packet, status: str) -> None:
+        """Record an inbound message as fully processed so a later
+        retransmission of it is re-acked instead of re-executed."""
+        if self.faults is not None:
+            self._rx_inflight.discard(packet.seq)
+            self._rx_seen[packet.seq] = status
+
     def _send_ack(self, packet: _Packet, status: str, wire: Wire) -> None:
         ack = _Packet(
             kind="ack",
@@ -568,4 +763,4 @@ class HCA:
             nbytes=0,
             status=status,
         )
-        wire.deliver(self, ack, self.clock.ns_to_ticks(self.link.ack_ns()))
+        self._deliver(wire, ack, self.clock.ns_to_ticks(self.link.ack_ns()))

@@ -26,6 +26,11 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.analysis.counters import CounterSet
+from repro.faults import (
+    FaultInjector,
+    PermanentRegistrationError,
+    TransientRegistrationError,
+)
 from repro.ib.att import ATTCache
 from repro.ib.driver import OpenIBDriver
 from repro.ib.verbs import IBVerbsError, MemoryRegion, ProtectionDomain
@@ -66,11 +71,13 @@ class RegistrationEngine:
         att: ATTCache,
         costs: Optional[RegistrationCosts] = None,
         counters: Optional[CounterSet] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.driver = driver
         self.att = att
         self.costs = costs if costs is not None else RegistrationCosts()
         self.counters = counters if counters is not None else CounterSet()
+        self.faults = faults if (faults is not None and faults.active) else None
 
     def register(
         self,
@@ -86,6 +93,20 @@ class RegistrationEngine:
         """
         if length <= 0:
             raise IBVerbsError(f"registration length must be positive, got {length}")
+        if self.faults is not None:
+            # decide before pinning anything, so a failed registration
+            # leaves no pinned pages behind
+            outcome = self.faults.registration_outcome()
+            if outcome == "permanent":
+                raise PermanentRegistrationError(
+                    f"registration of [{vaddr:#x}+{length}] failed permanently "
+                    "(adapter translation table exhausted)"
+                )
+            if outcome == "transient":
+                raise TransientRegistrationError(
+                    f"registration of [{vaddr:#x}+{length}] failed transiently "
+                    "(driver resource shortage; retry may succeed)"
+                )
         pages = list(aspace.page_table.pages_in_range(vaddr, length))
         ns = self.costs.base_ns
         # step 1: pin + step 2: translate, per real kernel page

@@ -170,12 +170,36 @@ class CompletionQueue:
         return len(self.store)
 
 
+#: Legal forward transitions of the QP verbs state machine (IB spec
+#: ch. 10.3).  Any state may additionally be forced to ERROR or torn
+#: down to RESET — those arcs are handled in :meth:`QueuePair.modify`
+#: rather than listed per state.  A send-queue error drains RTS to SQE,
+#: which recovers back to RTS once the send queue has been flushed.
+QP_TRANSITIONS = {
+    "RESET": ("INIT",),
+    "INIT": ("RTR",),
+    "RTR": ("RTS",),
+    "RTS": ("SQE",),
+    "SQE": ("RTS",),
+    "ERROR": (),
+}
+
+QP_STATES = tuple(QP_TRANSITIONS)
+
+
 class QueuePair:
     """A reliable-connection queue pair.
 
     Created through :meth:`repro.ib.hca.HCA.create_qp`; the send queue is
     drained by the HCA's per-QP send engine, the receive queue is
     consumed as matching sends arrive.
+
+    The QP carries the verbs state machine (RESET → INIT → RTR → RTS,
+    with SQE/ERROR error states) and the RC retry attributes the fault
+    subsystem exercises: ``retry_cnt`` (transport retries, a 3-bit
+    counter in the spec), ``rnr_retry`` (receiver-not-ready retries,
+    where 7 means retry forever) and ``ack_timeout_ns`` (the Local Ack
+    Timeout floor before a retransmission).
     """
 
     def __init__(
@@ -200,15 +224,63 @@ class QueuePair:
         self.wr_slots = Resource(kernel, capacity=max_send_wr)
         self.send_q = Store(kernel)
         self.recv_q = Store(kernel)
-        self.state = "INIT"
+        self.state = "RESET"
         self.peer_hca: Optional[object] = None
         self.peer_qp_num: Optional[int] = None
+        #: transport retry budget before a send completes with
+        #: "transport-retry-exceeded-error" (IB: 3 bits, 0-7)
+        self.retry_cnt = 7
+        #: receiver-not-ready retry budget; 7 = retry forever (IB spec)
+        self.rnr_retry = 7
+        #: floor of the ack timeout before a retransmission fires
+        self.ack_timeout_ns = 50_000.0
+
+    def modify(self, new_state: str) -> None:
+        """Transition the QP, enforcing the verbs state machine.
+
+        Forward arcs follow :data:`QP_TRANSITIONS`; any state may be
+        forced to ERROR or torn down to RESET (both idempotent).
+        """
+        if new_state not in QP_STATES:
+            raise IBVerbsError(
+                f"unknown QP state {new_state!r} (valid: {', '.join(QP_STATES)})"
+            )
+        if new_state in ("RESET", "ERROR"):
+            self.state = new_state
+            if new_state == "RESET":
+                self.peer_hca = None
+                self.peer_qp_num = None
+            return
+        if new_state not in QP_TRANSITIONS[self.state]:
+            raise IBVerbsError(
+                f"illegal QP {self.qp_num} transition "
+                f"{self.state} -> {new_state}"
+            )
+        self.state = new_state
 
     def connect(self, peer_hca: object, peer_qp_num: int) -> None:
-        """Transition to RTS targeting a peer QP."""
+        """Walk a RESET QP through INIT and RTR to RTS, targeting a
+        peer QP.  Reconnecting an armed QP is an error: real verbs
+        require a reset first, and silently re-arming hid wiring bugs.
+        """
+        if self.state == "RTS":
+            raise IBVerbsError(
+                f"QP {self.qp_num} is already connected (RTS) to QP "
+                f"{self.peer_qp_num}; reset() it before reconnecting"
+            )
+        if self.state != "RESET":
+            raise IBVerbsError(
+                f"connect() needs QP {self.qp_num} in RESET, "
+                f"but it is in {self.state}"
+            )
         self.peer_hca = peer_hca
         self.peer_qp_num = peer_qp_num
-        self.state = "RTS"
+        for state in ("INIT", "RTR", "RTS"):
+            self.modify(state)
+
+    def reset(self) -> None:
+        """Tear the QP down to RESET (clears the peer binding)."""
+        self.modify("RESET")
 
     @property
     def connected(self) -> bool:

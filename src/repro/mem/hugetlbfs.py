@@ -9,8 +9,9 @@ the pool: acquiring/releasing hugepage frames, and accounting so a client
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.faults import FaultInjector
 from repro.mem.physical import PAGE_2M, OutOfMemoryError, PhysicalMemory
 
 
@@ -26,11 +27,17 @@ class HugeTLBfs:
     physical:
         The machine's :class:`~repro.mem.physical.PhysicalMemory`, whose
         hugepage pool backs this filesystem.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`; when its plan sets
+        ``hugepage_deplete_after``, the pool seizes mid-run as if other
+        processes drained ``nr_hugepages``.
     """
 
-    def __init__(self, physical: PhysicalMemory):
+    def __init__(self, physical: PhysicalMemory,
+                 faults: Optional[FaultInjector] = None):
         self.physical = physical
         self._acquired = 0
+        self.faults = faults if (faults is not None and faults.active) else None
 
     # -- accounting ---------------------------------------------------------
     @property
@@ -64,6 +71,12 @@ class HugeTLBfs:
             raise ValueError(f"n_pages must be positive, got {n_pages}")
         if keep_reserve < 0:
             raise ValueError(f"keep_reserve must be >= 0, got {keep_reserve}")
+        if self.faults is not None and self.faults.hugepage_request_denied():
+            raise HugePagePoolExhausted(
+                f"need {n_pages} hugepages, but the pool has been depleted "
+                "mid-run (fault injection: other processes drained "
+                "nr_hugepages)"
+            )
         if self.free_pages - n_pages < keep_reserve:
             raise HugePagePoolExhausted(
                 f"need {n_pages} hugepages with reserve {keep_reserve}, "

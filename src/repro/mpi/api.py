@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.engine.core import Event, SimKernel
 from repro.engine.resources import Channel, Store
+from repro.faults import MPITransportError
 from repro.ib.verbs import (
     SGE,
     CompletionQueue,
@@ -170,9 +171,9 @@ class Endpoint:
         n_recv_bufs = cfg.prepost_depth * n_qps
         total = (cfg.bounce_buffers + n_recv_bufs) * cfg.eager_buf_bytes
         slab = self.proc.malloc(total)
-        mr = yield from self.hca.register_memory(
-            self.proc.aspace, self.pd, slab, total
-        )
+        # registered through the regcache's retry policy so a transient
+        # driver failure during setup is retried, not fatal
+        mr = yield from self.regcache.register_with_retry(slab, total)
         cursor = slab
         for _ in range(cfg.bounce_buffers):
             self.bounce_pool.put((cursor, mr))
@@ -209,7 +210,10 @@ class Endpoint:
             if wc.ok:
                 ev.succeed(wc)
             else:
-                ev.fail(RuntimeError(f"send failed: {wc.status}"))
+                ev.fail(MPITransportError(
+                    f"rank {self.rank}: send WR {wc.wr_id} "
+                    f"({wc.byte_len} B, {wc.opcode}) failed: {wc.status}"
+                ))
 
     def _dispatch(self, env: Envelope) -> None:
         if env.kind in ("eager", "rts", "rdat"):

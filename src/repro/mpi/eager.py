@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from repro.faults import MPITransportError
 from repro.ib.verbs import SGE, SendWR
 
 
@@ -43,7 +44,13 @@ def send_through_bounce(endpoint, dest: int, env, wire_bytes: int,
             payload=env,
         )
         yield from endpoint.hca.post_send(qp, wr)
-        yield done
+        try:
+            yield done
+        except MPITransportError as exc:
+            raise MPITransportError(
+                f"rank {endpoint.rank}: {env.kind!r} message to rank "
+                f"{dest} ({wire_bytes} B) aborted: {exc}"
+            ) from exc
     finally:
         endpoint.bounce_pool.put((buf_addr, mr))
 

@@ -18,9 +18,16 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from repro.analysis.counters import CounterSet
+from repro.faults import PermanentRegistrationError, TransientRegistrationError
 from repro.ib.hca import HCA
 from repro.ib.verbs import MemoryRegion, ProtectionDomain
 from repro.mem.address_space import AddressSpace
+
+#: transient-registration retry policy (only ever exercised under fault
+#: injection): attempts before a transient failure is promoted to a
+#: permanent one, and the exponential-backoff base between attempts
+MAX_REG_ATTEMPTS = 5
+REG_RETRY_BACKOFF_NS = 10_000.0
 
 
 class RegistrationCache:
@@ -84,11 +91,42 @@ class RegistrationCache:
                 return mr
         self.misses += 1
         self.counters.add("regcache.miss")
-        mr = yield from self.hca.register_memory(self.aspace, self.pd, vaddr, length)
+        mr = yield from self.register_with_retry(vaddr, length)
         if self.enabled:
             self._entries.append(mr)
             yield from self._evict_to_capacity()
         return mr
+
+    def register_with_retry(self, vaddr: int, length: int) -> Generator:
+        """Register with the MR-failure policy: transient failures retry
+        with exponential backoff (after invalidating any cached
+        registrations overlapping the range — they may reference the
+        very driver state that just failed), permanent ones invalidate
+        and propagate.  Also used directly for uncached registrations
+        (the endpoint's bounce slab) that need the same resilience."""
+        attempt = 0
+        while True:
+            try:
+                mr = yield from self.hca.register_memory(
+                    self.aspace, self.pd, vaddr, length
+                )
+                return mr
+            except PermanentRegistrationError:
+                self.invalidate_range(vaddr, length)
+                raise
+            except TransientRegistrationError:
+                attempt += 1
+                self.counters.add("faults.regcache.retries")
+                self.invalidate_range(vaddr, length)
+                if attempt >= MAX_REG_ATTEMPTS:
+                    raise PermanentRegistrationError(
+                        f"registration of [{vaddr:#x}+{length}] still "
+                        f"failing after {attempt} attempts"
+                    )
+                backoff_ns = REG_RETRY_BACKOFF_NS * (2 ** (attempt - 1))
+                yield self.hca.kernel.timeout(
+                    max(1, self.hca.clock.ns_to_ticks(backoff_ns))
+                )
 
     def release(self, mr: MemoryRegion) -> Generator:
         """Finish using *mr*: a no-op when caching, an immediate (timed)

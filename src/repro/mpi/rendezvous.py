@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from repro.faults import MPITransportError
 from repro.ib.verbs import SGE, SendWR
 from repro.mpi.eager import send_ctrl
 
@@ -59,7 +60,16 @@ def rdma_rendezvous_send(endpoint, dest: int, tag: int, size: int,
         payload=payload,
     )
     yield from endpoint.hca.post_send(qp, wr)
-    yield done
+    try:
+        yield done
+    except MPITransportError as exc:
+        # release the cached registration before surfacing the abort,
+        # or the MR leaks a reference for the life of the rank
+        yield from endpoint.regcache.release(mr)
+        raise MPITransportError(
+            f"rank {endpoint.rank}: rendezvous write of {size} B to "
+            f"rank {dest} aborted: {exc}"
+        ) from exc
     yield from endpoint.regcache.release(mr)
     fin = endpoint.make_envelope("fin", dest, tag, size, rndv=rndv)
     yield from send_ctrl(endpoint, dest, fin)
@@ -120,7 +130,14 @@ def rdma_read_rendezvous_recv(endpoint, env, addr: int) -> Generator:
         rkey=env.rkey,
     )
     yield from endpoint.hca.post_send(qp, wr)
-    wc = yield done
+    try:
+        wc = yield done
+    except MPITransportError as exc:
+        yield from endpoint.regcache.release(mr)
+        raise MPITransportError(
+            f"rank {endpoint.rank}: rendezvous read of {env.size} B "
+            f"from rank {env.src} aborted: {exc}"
+        ) from exc
     yield from endpoint.regcache.release(mr)
     fin = endpoint.make_envelope("fin", env.src, env.tag, env.size,
                                  rndv=env.rndv)

@@ -24,6 +24,7 @@ from repro.alloc.libc import LibcAllocator
 from repro.analysis.counters import CounterSet
 from repro.engine.clock import TickClock
 from repro.engine.core import SimKernel
+from repro.faults import FaultInjector, FaultPlan
 from repro.ib.att import ATTCache, ATTConfig
 from repro.ib.bus import BusConfig, BusModel, pci_express_x8
 from repro.ib.driver import OpenIBDriver
@@ -133,24 +134,28 @@ class OSProcess:
 class Machine:
     """One cluster node (see module docstring)."""
 
-    def __init__(self, kernel: SimKernel, spec: MachineSpec, name: Optional[str] = None):
+    def __init__(self, kernel: SimKernel, spec: MachineSpec,
+                 name: Optional[str] = None,
+                 faults: Optional[FaultInjector] = None):
         self.kernel = kernel
         self.spec = spec
         self.name = name if name is not None else spec.name
         self.clock = TickClock(spec.ticks_per_us)
         self.counters = CounterSet()
+        self.faults = faults if (faults is not None and faults.active) else None
         self.physical = PhysicalMemory(
             spec.mem_bytes,
             hugepages=spec.hugepages,
             fragmentation=spec.fragmentation,
             seed=spec.seed,
         )
-        self.hugetlbfs = HugeTLBfs(self.physical)
+        self.hugetlbfs = HugeTLBfs(self.physical, faults=self.faults)
         self.bus = BusModel(kernel, spec.bus)
         self.att = ATTCache(spec.att, self.counters)
         self.driver = OpenIBDriver(hugepage_aware=spec.hugepage_aware_driver)
         self.reg_engine = RegistrationEngine(
-            self.driver, self.att, spec.reg_costs, self.counters
+            self.driver, self.att, spec.reg_costs, self.counters,
+            faults=self.faults,
         )
         self.link = IBLink(spec.link)
         self.hca = HCA(
@@ -163,6 +168,7 @@ class Machine:
             config=spec.hca,
             counters=self.counters,
             name=f"{self.name}-hca",
+            faults=self.faults,
         )
         self._procs: List[OSProcess] = []
 
@@ -190,13 +196,21 @@ class Cluster:
     """N machines of one spec, fully wired, on one kernel."""
 
     def __init__(self, spec: MachineSpec, n_nodes: int = 2,
-                 kernel: Optional[SimKernel] = None):
+                 kernel: Optional[SimKernel] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         if n_nodes < 1:
             raise ValueError("a cluster needs at least one node")
         self.kernel = kernel if kernel is not None else SimKernel()
         self.spec = spec
+        # one injector for the whole cluster: all fault decisions come
+        # from a single seeded stream, and a zero plan attaches nothing
+        self.faults: Optional[FaultInjector] = None
+        if fault_plan is not None and fault_plan.active:
+            self.faults = FaultInjector(fault_plan)
         self.nodes: List[Machine] = [
-            Machine(self.kernel, spec, name=f"{spec.name}-n{i}") for i in range(n_nodes)
+            Machine(self.kernel, spec, name=f"{spec.name}-n{i}",
+                    faults=self.faults)
+            for i in range(n_nodes)
         ]
         self.wires: Dict[tuple, Wire] = {}
         for i in range(n_nodes):
@@ -211,7 +225,7 @@ class Cluster:
         return self.nodes[0].clock
 
     def aggregate_counters(self) -> Dict[str, int]:
-        """Sum of machine + process counters across the cluster."""
+        """Sum of machine + process + fault counters across the cluster."""
         total: Dict[str, int] = {}
         for node in self.nodes:
             for name, value in node.counters.snapshot().items():
@@ -219,4 +233,7 @@ class Cluster:
             for proc in node.processes:
                 for name, value in proc.counters.snapshot().items():
                     total[name] = total.get(name, 0) + value
+        if self.faults is not None:
+            for name, value in self.faults.counters.snapshot().items():
+                total[name] = total.get(name, 0) + value
         return total

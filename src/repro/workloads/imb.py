@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.core.placement import BufferPlacer, PlacementPolicy
+from repro.faults import FaultPlan
 from repro.mpi.api import MPIConfig, MPIWorld
 from repro.systems.machine import Cluster, MachineSpec
 
@@ -75,6 +76,7 @@ class PingPongBenchmark:
         driver_hugepage_aware: Optional[bool] = None,
         iterations: int = 4,
         warmup: int = 1,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> IMBResult:
         """One PingPong sweep on a fresh 2-node cluster."""
         if not sizes or min(sizes) < 1:
@@ -82,7 +84,7 @@ class PingPongBenchmark:
         spec = self.spec_factory()
         if driver_hugepage_aware is not None:
             spec = spec.with_driver(driver_hugepage_aware)
-        cluster = Cluster(spec, n_nodes=2)
+        cluster = Cluster(spec, n_nodes=2, fault_plan=fault_plan)
         world = MPIWorld(cluster, ppn=1, config=MPIConfig(lazy_dereg=lazy_dereg))
         policy = PlacementPolicy.HUGE_PAGES if hugepages else PlacementPolicy.SMALL_PAGES
         max_size = max(sizes)
@@ -145,6 +147,7 @@ class SendRecvBenchmark:
         driver_hugepage_aware: Optional[bool] = None,
         iterations: int = 4,
         warmup: int = 1,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> IMBResult:
         """One sweep: a fresh cluster, one buffer placement, one
         registration-cache mode, all *sizes*."""
@@ -153,7 +156,7 @@ class SendRecvBenchmark:
         spec = self.spec_factory()
         if driver_hugepage_aware is not None:
             spec = spec.with_driver(driver_hugepage_aware)
-        cluster = Cluster(spec, n_nodes=self.n_nodes)
+        cluster = Cluster(spec, n_nodes=self.n_nodes, fault_plan=fault_plan)
         world = MPIWorld(cluster, ppn=1, config=MPIConfig(lazy_dereg=lazy_dereg))
         policy = PlacementPolicy.HUGE_PAGES if hugepages else PlacementPolicy.SMALL_PAGES
         max_size = max(sizes)

@@ -220,6 +220,79 @@ class TestEngineDeterminismProperty:
         assert clock.ns_to_ticks(ns) >= 0
 
 
+def _run_faulted_transfers(fault_plan, n_msgs=2, size=32 * 1024):
+    """Two-rank rendezvous workload; returns (app ticks, counters,
+    received payloads)."""
+    from repro.core.placement import BufferPlacer, PlacementPolicy
+    from repro.mpi.api import MPIConfig, MPIWorld
+    from repro.systems import Cluster, presets
+
+    cluster = Cluster(presets.opteron_infinihost_pcie(), n_nodes=2,
+                      fault_plan=fault_plan)
+    world = MPIWorld(cluster, ppn=1, config=MPIConfig())
+
+    def program(comm):
+        placer = BufferPlacer(comm.proc)
+        buf = placer.place(size, PlacementPolicy.SMALL_PAGES, offset=0)
+        if comm.rank == 0:
+            for i in range(n_msgs):
+                yield from comm.send(1, i, size, addr=buf.addr,
+                                     payload=("m", i))
+            return None
+        got = []
+        for i in range(n_msgs):
+            payload, *_ = yield from comm.recv(0, i, addr=buf.addr)
+            got.append(payload)
+        return got
+
+    results = world.run(program)
+    ticks = max(r.app_ticks for r in results)
+    return ticks, cluster.aggregate_counters(), results[1].value
+
+
+def _run_or_abort(plan):
+    """A faulted run either completes or aborts cleanly; both outcomes
+    must be deterministic, so both are comparable values."""
+    from repro.faults import MPITransportError
+
+    try:
+        return _run_faulted_transfers(plan)
+    except MPITransportError as exc:
+        return ("aborted", str(exc))
+
+
+class TestFaultInjectionProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_same_seed_is_bit_identical(self, seed):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(link_loss=0.05, link_corrupt=0.02,
+                         reg_transient=0.1, seed=seed)
+        assert _run_or_abort(plan) == _run_or_abort(plan)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_faults_never_speed_things_up(self, seed):
+        from repro.faults import FaultPlan
+
+        base_ticks, _, base_payloads = _run_faulted_transfers(None)
+        outcome = _run_or_abort(FaultPlan(link_loss=0.05, seed=seed))
+        if outcome[0] == "aborted":
+            # retry exhaustion is a legal outcome — but it must surface
+            # as a clean transport error, which _run_or_abort caught
+            return
+        ticks, counters, payloads = outcome
+        # payloads survive whatever the link does; time only grows
+        assert payloads == base_payloads
+        assert ticks >= base_ticks
+        if counters.get("faults.link.dropped", 0):
+            assert counters.get("faults.qp.retries", 0) >= 1
+            assert ticks > base_ticks
+
+
 class TestAddressSpaceProperties:
     @given(
         lengths=st.lists(st.integers(min_value=1, max_value=64 * 4096),
