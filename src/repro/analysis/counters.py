@@ -11,7 +11,8 @@ snapshot/diff them exactly like a PAPI harness would.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, Mapping, Tuple
+from sys import intern
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
 
 class CounterSet:
@@ -20,14 +21,32 @@ class CounterSet:
     Names are dotted paths by convention (``"tlb.4k.miss"``,
     ``"att.fetch"``, ``"alloc.free_calls"``) so related counters can be
     grouped with :meth:`group`.
+
+    Keys are interned on insertion: components increment the same small
+    name set millions of times, and interning makes every later lookup a
+    pointer comparison (and cross-set merges cheap) regardless of where
+    the name string came from.
     """
+
+    __slots__ = ("_counts",)
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = defaultdict(int)
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment *name* by *amount* (may be negative for corrections)."""
-        self._counts[name] += amount
+        counts = self._counts
+        if name not in counts:
+            name = intern(name)
+        counts[name] += amount
+
+    def add_many(self, pairs: Iterable[Tuple[str, int]]) -> None:
+        """Apply several ``(name, amount)`` increments in one call."""
+        counts = self._counts
+        for name, amount in pairs:
+            if name not in counts:
+                name = intern(name)
+            counts[name] += amount
 
     def get(self, name: str, default: int = 0) -> int:
         """Current value of *name* (0 if never incremented)."""

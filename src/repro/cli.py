@@ -13,9 +13,15 @@
     python -m repro abinit               # the allocator comparison
     python -m repro breakdown [--mb 4]   # per-component message costs
     python -m repro faults               # fault-injection demo + report
+    python -m repro perf [--quick]       # fast-vs-reference perf harness
 
 Each command prints the same rows/series the paper reports.  The heavier
 NAS commands accept ``--class W|B|C`` (the benchmark suite uses C).
+
+Every command accepts ``--no-fastpath`` (before or after the command
+name) to force the reference per-element costing loops instead of the
+batched fast paths — results are identical either way, only slower (see
+``docs/performance.md``).
 
 ``fig5``, ``pingpong`` and ``faults`` accept ``--fault-plan
 key=value,...`` and ``--fault-seed N`` to run under injected faults
@@ -310,6 +316,15 @@ def _cmd_faults(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_perf(args) -> None:
+    from repro.perf import run_perf
+
+    code = run_perf(quick=args.quick, out=args.out, compare=args.compare,
+                    only=args.only)
+    if code:
+        raise SystemExit(code)
+
+
 COMMANDS = {
     "fig3": (_cmd_fig3, "Fig 3: SGE-count/size sweep (verbs level)"),
     "fig4": (_cmd_fig4, "Fig 4: in-page offset sweep"),
@@ -322,19 +337,29 @@ COMMANDS = {
     "pingpong": (_cmd_pingpong, "IMB PingPong latency view (companion)"),
     "breakdown": (_cmd_breakdown, "per-component message cost analysis"),
     "faults": (_cmd_faults, "fault-injection demo: lossy link + report"),
+    "perf": (_cmd_perf, "time fast vs reference paths, track BENCH_PR2.json"),
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    # --no-fastpath is accepted both before and after the command name;
+    # SUPPRESS keeps a subparser's default from clobbering a value the
+    # main parser already set
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--no-fastpath", dest="no_fastpath",
+                        action="store_true", default=argparse.SUPPRESS,
+                        help="use the reference per-element costing loops "
+                             "instead of the batched fast paths")
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
+        parents=[common],
     )
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list", help="list available experiments", parents=[common])
     for name, (_fn, help_text) in COMMANDS.items():
-        p = sub.add_parser(name, help=help_text)
+        p = sub.add_parser(name, help=help_text, parents=[common])
         if name in ("fig6", "tlb"):
             p.add_argument("--class", dest="klass", default="W",
                            choices=["W", "B", "C"],
@@ -351,7 +376,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 "reg_transient=0.1 (see repro.faults)")
             p.add_argument("--fault-seed", dest="fault_seed", type=int,
                            default=0, help="fault injector RNG seed")
+        if name == "perf":
+            p.add_argument("--quick", action="store_true",
+                           help="smaller sweeps (the CI smoke configuration)")
+            p.add_argument("--out", default="BENCH_PR2.json",
+                           help="JSON results file to merge into "
+                                "(default BENCH_PR2.json)")
+            p.add_argument("--compare", default=None, metavar="BASELINE",
+                           help="fail if fig5's speedup regresses >20%% vs "
+                                "this baseline's same-mode entry")
+            p.add_argument("--only", action="append", default=None,
+                           metavar="NAME",
+                           help="run only the named benchmark (repeatable)")
     args = parser.parse_args(argv)
+    if getattr(args, "no_fastpath", False):
+        from repro import fastpath
+
+        fastpath.set_enabled(False)
     if args.command in (None, "list"):
         for name, (_fn, help_text) in COMMANDS.items():
             print(f"  {name:<14} {help_text}")

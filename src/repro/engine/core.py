@@ -14,6 +14,7 @@ it fires (or the event's exception is thrown into the generator).
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 #: scheduling priorities (lower runs first at equal times)
@@ -315,12 +316,31 @@ class SimKernel:
     10
     """
 
+    __slots__ = (
+        "_queue",
+        "_seq",
+        "_now",
+        "_active_process",
+        "_crash",
+        "_timeout_pool",
+        "_event_pool",
+    )
+
+    #: recycled events kept per pool; beyond this, spent events are left
+    #: to the garbage collector
+    _POOL_MAX = 256
+
     def __init__(self) -> None:
         self._queue: List = []
         self._seq = 0
         self._now = 0
         self._active_process: Optional[Process] = None
         self._crash: Optional[BaseException] = None
+        # object pools: Timeout/Event instances are the kernel's hottest
+        # allocation; step() recycles ones nobody else references (see
+        # the refcount check there) and the factories below reuse them
+        self._timeout_pool: List[Timeout] = []
+        self._event_pool: List[Event] = []
 
     # -- clock ----------------------------------------------------------
     @property
@@ -335,11 +355,35 @@ class SimKernel:
 
     # -- event factories --------------------------------------------------
     def event(self) -> Event:
-        """Create a new untriggered event."""
+        """Create a new untriggered event (recycled when possible)."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = None
+            ev._ok = True
+            ev._triggered = False
+            ev._processed = False
+            return ev
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        """Create an event firing after *delay* ticks."""
+        """Create an event firing after *delay* ticks (recycled when
+        possible)."""
+        pool = self._timeout_pool
+        if pool:
+            delay = int(delay)
+            if delay < 0:
+                raise SimError(f"negative timeout delay {delay}")
+            ev = pool.pop()
+            ev.delay = delay
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev._triggered = True
+            ev._processed = False
+            self._schedule(ev, delay, NORMAL)
+            return ev
         return Timeout(self, int(delay), value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -373,19 +417,61 @@ class SimKernel:
         if self._crash is not None:
             exc, self._crash = self._crash, None
             raise exc
+        # Recycle the spent event if nobody else holds it: refcount 2 is
+        # our local binding plus getrefcount's argument.  Safe because
+        # Event has __slots__ without __weakref__ (no weak references can
+        # observe reuse) and the kernel is single-threaded.  Exact types
+        # only — subclasses carry extra state.
+        cls = type(event)
+        if cls is Timeout:
+            if len(self._timeout_pool) < self._POOL_MAX and getrefcount(event) == 2:
+                event._value = None
+                self._timeout_pool.append(event)
+        elif cls is Event:
+            if len(self._event_pool) < self._POOL_MAX and getrefcount(event) == 2:
+                event._value = None
+                self._event_pool.append(event)
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or the clock passes *until* ticks.
 
         If a process dies with an unhandled exception and no other process
         is waiting on it, the exception propagates out of ``run()``.
+
+        The loop body is :meth:`step` inlined — the per-event bookkeeping
+        is the simulator's hottest code, and the method call plus repeated
+        attribute loads are measurable at millions of events.
         """
         if until is not None and until < self._now:
             raise SimError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        queue = self._queue
+        pop = heapq.heappop
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        pool_max = self._POOL_MAX
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            when, _prio, _seq, event = pop(queue)
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            event._processed = True
+            if callbacks:
+                for cb in callbacks:
+                    cb(event)
+            if self._crash is not None:
+                exc, self._crash = self._crash, None
+                raise exc
+            # recycling: see step() for the reasoning
+            cls = type(event)
+            if cls is Timeout:
+                if len(timeout_pool) < pool_max and getrefcount(event) == 2:
+                    event._value = None
+                    timeout_pool.append(event)
+            elif cls is Event:
+                if len(event_pool) < pool_max and getrefcount(event) == 2:
+                    event._value = None
+                    event_pool.append(event)
         if until is not None:
             self._now = until

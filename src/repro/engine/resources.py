@@ -27,6 +27,8 @@ class Resource:
         resource.release()
     """
 
+    __slots__ = ("kernel", "capacity", "_in_use", "_waiters")
+
     def __init__(self, kernel: SimKernel, capacity: int = 1):
         if capacity < 1:
             raise SimError(f"Resource capacity must be >= 1, got {capacity}")
@@ -47,7 +49,7 @@ class Resource:
 
     def request(self) -> Event:
         """Return an event that fires when a slot is granted."""
-        ev = Event(self.kernel)
+        ev = self.kernel.event()
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed()
@@ -81,6 +83,8 @@ class Store:
     untriggered) while the store is full; gets block while it is empty.
     """
 
+    __slots__ = ("kernel", "capacity", "_items", "_getters", "_putters")
+
     def __init__(self, kernel: SimKernel, capacity: Optional[int] = None):
         if capacity is not None and capacity < 1:
             raise SimError(f"Store capacity must be >= 1, got {capacity}")
@@ -100,7 +104,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Enqueue *item*; the returned event fires once it is accepted."""
-        ev = Event(self.kernel)
+        ev = self.kernel.event()
         if self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
             ev.succeed()
@@ -111,7 +115,7 @@ class Store:
 
     def get(self) -> Event:
         """Dequeue an item; the returned event fires with the item."""
-        ev = Event(self.kernel)
+        ev = self.kernel.event()
         self._getters.append(ev)
         self._dispatch()
         return ev
@@ -151,6 +155,8 @@ class Channel:
     whenever either side posts (posted-receive semantics).
     """
 
+    __slots__ = ("kernel", "_messages", "_receivers")
+
     def __init__(self, kernel: SimKernel):
         self.kernel = kernel
         self._messages: Deque[Any] = deque()
@@ -179,7 +185,7 @@ class Channel:
     def receive(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         """Return an event firing with the oldest message matching
         *predicate* (or any message when *predicate* is None)."""
-        ev = Event(self.kernel)
+        ev = self.kernel.event()
         for idx, message in enumerate(self._messages):
             if predicate is None or predicate(message):
                 del self._messages[idx]

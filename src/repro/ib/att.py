@@ -72,6 +72,80 @@ class ATTCache:
         self._cache[key] = True
         return False, self.config.fetch_ns
 
+    def sweep_range(self, mr_id: int, first_entry: int, n_entries: int) -> Tuple[int, int]:
+        """Translate a sequential run of entries in one call.
+
+        Exactly equivalent to per-entry :meth:`access` calls on
+        ``(mr_id, first_entry) .. (mr_id, first_entry+n_entries-1)``:
+        identical hit/miss totals and counters, identical final cache
+        content and LRU order.  Returns ``(hits, misses)``; the stall is
+        ``misses * config.fetch_ns``.
+        """
+        if n_entries <= 0:
+            raise ValueError(f"n_entries must be positive, got {n_entries}")
+        cache = self._cache
+        capacity = self.config.entries
+        end = first_entry + n_entries
+        resident = 0
+        if len(cache) <= n_entries:
+            for mr, idx in cache:
+                if mr == mr_id and first_entry <= idx < end:
+                    resident += 1
+        else:
+            for idx in range(first_entry, end):
+                if (mr_id, idx) in cache:
+                    resident += 1
+        if resident == 0:
+            hits, misses = 0, n_entries
+            if n_entries >= capacity:
+                cache.clear()
+                for idx in range(end - capacity, end):
+                    cache[(mr_id, idx)] = True
+            else:
+                overflow = len(cache) + n_entries - capacity
+                for _ in range(overflow if overflow > 0 else 0):
+                    cache.popitem(last=False)
+                for idx in range(first_entry, end):
+                    cache[(mr_id, idx)] = True
+        elif resident == n_entries:
+            # all hits: nothing inserted, so nothing evicted
+            hits, misses = n_entries, 0
+            for idx in range(first_entry, end):
+                cache.move_to_end((mr_id, idx))
+        elif (
+            resident == capacity
+            and len(cache) == capacity
+            and n_entries >= 2 * capacity
+            and all(
+                key == expect
+                for key, expect in zip(
+                    cache, ((mr_id, i) for i in range(end - capacity, end))
+                )
+            )
+        ):
+            # repeated long sweep: the cache holds exactly the last
+            # `capacity` swept entries in sweep order, and evictions race
+            # ahead of the cursor — all misses, final state unchanged
+            # (see the matching case in repro.fastpath.lru_sweep)
+            hits, misses = 0, n_entries
+        else:
+            hits = 0
+            for idx in range(first_entry, end):
+                key = (mr_id, idx)
+                if key in cache:
+                    cache.move_to_end(key)
+                    hits += 1
+                else:
+                    while len(cache) >= capacity:
+                        cache.popitem(last=False)
+                    cache[key] = True
+            misses = n_entries - hits
+        if hits:
+            self.counters.add("att.hit", hits)
+        if misses:
+            self.counters.add("att.miss", misses)
+        return hits, misses
+
     def stream_stall_ns(self, mr_id: int, first_entry: int, n_entries: int) -> float:
         """Total stall for a sequential sweep over *n_entries* entries.
 

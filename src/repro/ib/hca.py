@@ -35,9 +35,10 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Generator, Optional, Set, Tuple
 
+from repro import fastpath
 from repro.analysis.counters import CounterSet
 from repro.engine.clock import TickClock
-from repro.engine.core import SimKernel
+from repro.engine.core import NORMAL, SimKernel
 from repro.faults import FaultInjector
 from repro.ib.att import ATTCache
 from repro.ib.bus import BusModel
@@ -128,17 +129,25 @@ class Wire:
         self._ends[id(hca)] = hca
 
     def deliver(self, sender: "HCA", packet: _Packet, delay_ticks: int) -> None:
-        """Schedule *packet* to arrive at the far end after *delay_ticks*."""
+        """Schedule *packet* to arrive at the far end after *delay_ticks*.
+
+        Arrival is a single scheduled callback, not a spawned process: a
+        cable has no state to model between launch and landing, and one
+        heap entry per packet instead of three (process start, timeout,
+        process exit) is a measurable share of the event budget.
+        """
         others = [h for key, h in self._ends.items() if key != id(sender)]
         if not others:
             raise IBVerbsError("wire has no far end attached")
         dest = others[0]
 
-        def _arrive():
-            yield self.kernel.timeout(delay_ticks)
-            dest._on_arrival(packet, self)
+        def _arrive(_ev, dest=dest, packet=packet, wire=self):
+            dest._on_arrival(packet, wire)
 
-        self.kernel.process(_arrive(), name=f"wire-{packet.kind}")
+        ev = self.kernel.event()
+        ev._triggered = True
+        ev.callbacks.append(_arrive)
+        self.kernel._schedule(ev, delay_ticks, NORMAL)
 
 
 class HCA:
@@ -315,15 +324,30 @@ class HCA:
             wr = yield qp.send_q.get()
             yield from self._handle_send(qp, wr)
 
+    def _att_range_ns(self, mr: MemoryRegion, addr: int, nbytes: int) -> float:
+        """ATT stall for a DMA over ``[addr, addr+nbytes)`` of *mr*.
+
+        One bulk sweep on the fast path (the entry indices of a DMA are
+        consecutive), a per-entry walk on the reference path — both drive
+        the same LRU state and counters.
+        """
+        entries = mr.entries_for(addr, nbytes)
+        if fastpath.enabled():
+            _, misses = self.att.sweep_range(mr.mr_id, entries.start, len(entries))
+            return misses * self.att.config.fetch_ns
+        ns = 0.0
+        for entry in entries:
+            _, stall = self.att.access(mr.mr_id, entry)
+            ns += stall
+        return ns
+
     def _gather_ns(self, wr: SendWR) -> float:
         """Bus-side cost of gathering all SGEs of *wr* (incl. ATT)."""
         cfg = self.config
         ns = self.bus.config.dma_setup_ns
         for i, sge in enumerate(wr.sges):
             mr = self.lookup_mr(sge.lkey)
-            for entry in mr.entries_for(sge.addr, sge.length):
-                _, stall = self.att.access(mr.mr_id, entry)
-                ns += stall
+            ns += self._att_range_ns(mr, sge.addr, sge.length)
             ns += self.bus.bursts_for(sge.addr, sge.length) * self.bus.config.burst_ns
             ns += self.bus.offset_adjust_ns(sge.addr)
             if i > 0:
@@ -530,6 +554,34 @@ class HCA:
             if self.faults is not None:
                 self.faults.counters.add("faults.link.rejected")
             return
+        if packet.kind == "ack" and self.faults is None:
+            # a clean ack needs no receive pipeline: complete the send
+            # after the CQE write, as one scheduled callback instead of a
+            # spawned process (same instant, two fewer kernel events per
+            # message; the fault path keeps the full duplicate handling)
+            entry = self._outstanding.pop(packet.seq, None)
+            if entry is None:
+                raise IBVerbsError(f"ack for unknown sequence {packet.seq}")
+            qp, wr = entry
+
+            def _complete(_ev, qp=qp, wr=wr, status=packet.status):
+                qp.send_cq.store.put(
+                    WorkCompletion(
+                        wr_id=wr.wr_id,
+                        opcode=wr.opcode,
+                        byte_len=wr.total_bytes,
+                        status=status,
+                    )
+                )
+                qp.wr_slots.release()
+
+            ev = self.kernel.event()
+            ev._triggered = True
+            ev.callbacks.append(_complete)
+            self.kernel._schedule(
+                ev, self.clock.ns_to_ticks(self.config.cqe_write_ns), NORMAL
+            )
+            return
         self.kernel.process(
             self._receive(packet, wire), name=f"{self.name}-rx-{packet.kind}"
         )
@@ -590,9 +642,7 @@ class HCA:
                 break
             use = min(sge.length, remaining)
             mr = self.lookup_mr(sge.lkey)
-            for entry in mr.entries_for(sge.addr, use):
-                _, stall = self.att.access(mr.mr_id, entry)
-                ns += stall
+            ns += self._att_range_ns(mr, sge.addr, use)
             ns += self.bus.bursts_for(sge.addr, use) * self.bus.config.burst_ns
             ns += self.bus.offset_adjust_ns(sge.addr)
             if i > 0:
@@ -651,9 +701,9 @@ class HCA:
             yield self.bus.write_channel.request()
             try:
                 scatter_ns = self.bus.config.dma_setup_ns
-                for entry in mr.entries_for(packet.remote_addr, packet.nbytes):
-                    _, stall = self.att.access(mr.mr_id, entry)
-                    scatter_ns += stall
+                scatter_ns += self._att_range_ns(
+                    mr, packet.remote_addr, packet.nbytes
+                )
                 scatter_ns += self.bus.bursts_for(packet.remote_addr, packet.nbytes) * \
                     self.bus.config.burst_ns
                 scatter_ns += self.bus.stream_ns(packet.nbytes)
@@ -679,9 +729,7 @@ class HCA:
         gather_ns = 0.0
         if status == "success":
             gather_ns = self.bus.config.dma_setup_ns
-            for entry in mr.entries_for(packet.remote_addr, packet.nbytes):
-                _, stall = self.att.access(mr.mr_id, entry)
-                gather_ns += stall
+            gather_ns += self._att_range_ns(mr, packet.remote_addr, packet.nbytes)
             gather_ns += self.bus.bursts_for(
                 packet.remote_addr, packet.nbytes
             ) * self.bus.config.burst_ns

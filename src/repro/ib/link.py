@@ -29,12 +29,17 @@ class LinkConfig:
     mtu_bytes: int = 2048
     packet_ns: float = 45.0
     latency_ns: float = 650.0
+    #: derived: serialization cost per payload byte (ns).  MB/s is
+    #: bytes/µs, so ns/byte = 1000 / (MB/s); computed once here instead
+    #: of on every :meth:`IBLink.serialization_ns` call.
+    ns_per_byte: float = 0.0
 
     def __post_init__(self):
         if self.payload_mb_s <= 0:
             raise ValueError("link bandwidth must be positive")
         if self.mtu_bytes <= 0:
             raise ValueError("MTU must be positive")
+        object.__setattr__(self, "ns_per_byte", 1e3 / self.payload_mb_s)
 
 
 class IBLink:
@@ -52,8 +57,10 @@ class IBLink:
 
     def serialization_ns(self, nbytes: int) -> float:
         """Time to clock *nbytes* onto the wire (no latency)."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count {nbytes}")
         cfg = self.config
-        return self.packets_for(nbytes) * cfg.packet_ns + nbytes / cfg.payload_mb_s * 1e3
+        return self.packets_for(nbytes) * cfg.packet_ns + nbytes * cfg.ns_per_byte
 
     def transfer_ns(self, nbytes: int) -> float:
         """First-byte latency + serialization: one message, one way."""

@@ -25,6 +25,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import fastpath
 from repro.analysis.counters import CounterSet
 from repro.faults import (
     FaultInjector,
@@ -107,13 +108,23 @@ class RegistrationEngine:
                     f"registration of [{vaddr:#x}+{length}] failed transiently "
                     "(driver resource shortage; retry may succeed)"
                 )
-        pages = list(aspace.page_table.pages_in_range(vaddr, length))
+        pages = self._pages_for(aspace, vaddr, length)
         ns = self.costs.base_ns
         # step 1: pin + step 2: translate, per real kernel page
-        for page in pages:
-            page.pin_count += 1
-            ns += self.costs.pin_ns(page.page_size)
-            ns += self.costs.per_page_translate_ns
+        if pages and pages[0].page_size == pages[-1].page_size:
+            # one VMA's pages share a size: hoist the cost lookup
+            per_page = (
+                self.costs.pin_ns(pages[0].page_size)
+                + self.costs.per_page_translate_ns
+            )
+            for page in pages:
+                page.pin_count += 1
+            ns += len(pages) * per_page
+        else:
+            for page in pages:
+                page.pin_count += 1
+                ns += self.costs.pin_ns(page.page_size)
+                ns += self.costs.per_page_translate_ns
         # step 3: upload translations at the driver's chosen granularity
         entry_page_size, n_entries = self.driver.plan_entries(pages)
         ns += n_entries * self.costs.per_entry_upload_ns
@@ -138,7 +149,7 @@ class RegistrationEngine:
         if not mr.registered:
             raise IBVerbsError(f"MR {mr.mr_id} already deregistered")
         ns = self.costs.dereg_base_ns + mr.n_entries * self.costs.per_entry_dereg_ns
-        for page in aspace.page_table.pages_in_range(mr.vaddr, mr.length):
+        for page in self._pages_for(aspace, mr.vaddr, mr.length):
             if page.pin_count <= 0:
                 raise IBVerbsError(
                     f"unpin of page {page.vaddr:#x} that is not pinned"
@@ -148,3 +159,14 @@ class RegistrationEngine:
         mr.registered = False
         self.counters.add("reg.deregister")
         return ns
+
+    @staticmethod
+    def _pages_for(aspace: AddressSpace, vaddr: int, length: int):
+        """Leaf entries covering the buffer: from the address space's
+        VMA translation cache when possible, else a page-table walk."""
+        if fastpath.enabled():
+            run = aspace.translation_run(vaddr, length)
+            if run is not None:
+                xlate, first, last = run
+                return xlate.entries[first : last + 1]
+        return list(aspace.page_table.pages_in_range(vaddr, length))

@@ -22,9 +22,10 @@ below one tick still accumulate correctly across a phase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional, Sequence, Tuple
 
+from repro import fastpath
 from repro.analysis.counters import CounterSet
 from repro.engine.clock import TickClock
 from repro.mem.address_space import AddressSpace
@@ -46,19 +47,19 @@ class AccessCost:
     prefetched_lines: int = 0
 
     def __add__(self, other: "AccessCost") -> "AccessCost":
+        # summed field-by-field from the dataclass definition, so a field
+        # added later cannot be silently dropped from the sum
         return AccessCost(
-            ns=self.ns + other.ns,
-            ticks=self.ticks + other.ticks,
-            tlb_misses=self.tlb_misses + other.tlb_misses,
-            tlb_hits=self.tlb_hits + other.tlb_hits,
-            cache_misses=self.cache_misses + other.cache_misses,
-            cache_hits=self.cache_hits + other.cache_hits,
-            prefetched_lines=self.prefetched_lines + other.prefetched_lines,
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in _COST_FIELDS
+            }
         )
 
 
-def _tlb_label(page_size: int) -> str:
-    return "4k" if page_size == PAGE_4K else "2m"
+#: field names of AccessCost, resolved once (``dataclasses.fields`` is
+#: too slow to call inside ``__add__``)
+_COST_FIELDS = tuple(f.name for f in fields(AccessCost))
 
 
 class MemoryAccessEngine:
@@ -97,6 +98,10 @@ class MemoryAccessEngine:
         """
         if nbytes <= 0:
             raise ValueError(f"nbytes must be positive, got {nbytes}")
+        if fastpath.enabled():
+            cost = self._touch_fast(vaddr, nbytes, write)
+            if cost is not None:
+                return cost
         cost = AccessCost()
         line = self.cache.config.line_size
         cursor = align_down(vaddr, line)
@@ -122,6 +127,51 @@ class MemoryAccessEngine:
             cursor += line
         return self._finish(cost)
 
+    def _touch_fast(self, vaddr: int, nbytes: int, write: bool) -> Optional[AccessCost]:
+        """Batched :meth:`touch`: TLB pages in one sweep, cache lines in
+        one sweep per physically-contiguous run.
+
+        Exactly equivalent to the reference loop (same ticks, counters
+        and model state); returns None when the range is not covered by
+        one cached VMA and the caller must walk page by page.
+        """
+        line = self.cache.config.line_size
+        start = align_down(vaddr, line)
+        end = vaddr + nbytes
+        run = self.address_space.translation_run(start, end - start)
+        if run is None:
+            return None
+        xlate, first_idx, last_idx = run
+        ps = xlate.page_size
+        entries = xlate.entries
+        cost = AccessCost()
+        cost.tlb_hits, cost.tlb_misses, ns = self.tlb.sweep(
+            entries[first_idx].vaddr, last_idx - first_idx + 1, ps
+        )
+        sweep = self.cache.sweep
+        cursor = start
+        i = first_idx
+        while cursor < end:
+            # extend across physically adjacent pages: their lines form
+            # one consecutive run of cache keys
+            j = i
+            while j < last_idx and entries[j + 1].paddr == entries[j].paddr + ps:
+                j += 1
+            entry = entries[i]
+            run_vend = entries[j].vaddr + ps
+            seg_end = run_vend if run_vend < end else end
+            n_lines = (seg_end - cursor + line - 1) // line
+            hits, misses, seg_ns = sweep(
+                (entry.paddr + (cursor - entry.vaddr)) // line, n_lines, write
+            )
+            cost.cache_hits += hits
+            cost.cache_misses += misses
+            ns += seg_ns
+            cursor += n_lines * line
+            i = j + 1
+        cost.ns = ns
+        return self._finish(cost)
+
     # -- streaming -------------------------------------------------------------
     def stream(self, vaddr: int, nbytes: int, write: bool = False) -> AccessCost:
         """Sequential sweep over a large range (analytic per page).
@@ -132,6 +182,10 @@ class MemoryAccessEngine:
         """
         if nbytes <= 0:
             raise ValueError(f"nbytes must be positive, got {nbytes}")
+        if fastpath.enabled():
+            cost = self._stream_fast(vaddr, nbytes)
+            if cost is not None:
+                return cost
         cost = AccessCost()
         restarts = 1  # the first line of the sweep is always a cold start
         prev_entry = None
@@ -154,6 +208,31 @@ class MemoryAccessEngine:
         restart_lines = min(n_lines, restarts * self.cache.config.stream_restart_lines)
         cost.cache_misses += restart_lines
         cost.prefetched_lines += n_lines - restart_lines
+        return self._finish(cost)
+
+    def _stream_fast(self, vaddr: int, nbytes: int) -> Optional[AccessCost]:
+        """Batched :meth:`stream`: one TLB sweep, restarts read from the
+        VMA's precomputed physical-adjacency prefix.
+
+        Exactly equivalent to the reference loop; returns None when the
+        range is not covered by one cached VMA.
+        """
+        run = self.address_space.translation_run(vaddr, nbytes)
+        if run is None:
+            return None
+        xlate, first_idx, last_idx = run
+        cost = AccessCost()
+        cost.tlb_hits, cost.tlb_misses, walk_ns = self.tlb.sweep(
+            xlate.entries[first_idx].vaddr,
+            last_idx - first_idx + 1,
+            xlate.page_size,
+        )
+        restarts = xlate.restarts(first_idx, last_idx)
+        n_lines = self.prefetcher.lines_for(nbytes)
+        cost.ns = walk_ns + self.prefetcher.stream_cost_ns(n_lines, restarts)
+        restart_lines = min(n_lines, restarts * self.cache.config.stream_restart_lines)
+        cost.cache_misses = restart_lines
+        cost.prefetched_lines = n_lines - restart_lines
         return self._finish(cost)
 
     def copy(self, src: int, dst: int, nbytes: int) -> AccessCost:
@@ -182,7 +261,6 @@ class MemoryAccessEngine:
             raise ValueError("need switches >= 0 and burst_bytes > 0")
         cost = AccessCost()
         page_size = self._page_size_at(regions[0][0])
-        label = _tlb_label(page_size)
         # bursts wander through their region; spill fraction = share of
         # bursts that start a page the stream has not visited recently
         pages_per_visit = min(1.0, burst_bytes / page_size)
@@ -193,8 +271,8 @@ class MemoryAccessEngine:
         hits = max(0, total_accesses - misses)
         cost.tlb_misses += misses
         cost.tlb_hits += hits
-        self.counters.add(f"tlb.{label}.miss", misses)
-        self.counters.add(f"tlb.{label}.hit", hits)
+        self.counters.add(SplitTLB._MISS_NAMES[page_size], misses)
+        self.counters.add(SplitTLB._HIT_NAMES[page_size], hits)
         cost.ns += misses * self.tlb.config.walk_ns(page_size)
         # each burst: first line restarts the stream, rest ride prefetch
         lines_per_burst = self.prefetcher.lines_for(burst_bytes)
@@ -225,7 +303,6 @@ class MemoryAccessEngine:
             raise ValueError("need n_accesses >= 0, region/stride > 0")
         cost = AccessCost()
         page_size = self._page_size_at(vaddr)
-        label = _tlb_label(page_size)
         # TLB: the stride visits region/stride slots in rotation
         slots = max(1, region_bytes // stride)
         misses = self.tlb.analytic_rotate_misses(
@@ -234,8 +311,8 @@ class MemoryAccessEngine:
         hits = max(0, n_accesses - misses)
         cost.tlb_misses += misses
         cost.tlb_hits += hits
-        self.counters.add(f"tlb.{label}.miss", misses)
-        self.counters.add(f"tlb.{label}.hit", hits)
+        self.counters.add(SplitTLB._MISS_NAMES[page_size], misses)
+        self.counters.add(SplitTLB._HIT_NAMES[page_size], hits)
         cost.ns += misses * self.tlb.config.walk_ns(page_size)
         # cache: set conflicts only when physical layout preserves the
         # power-of-two stride (hugepages) and the stride spans >= a page
@@ -264,13 +341,12 @@ class MemoryAccessEngine:
             raise ValueError("need n_accesses >= 0 and region_bytes > 0")
         cost = AccessCost()
         page_size = self._page_size_at(vaddr)
-        label = _tlb_label(page_size)
         misses = self.tlb.analytic_random_misses(n_accesses, region_bytes, page_size)
         hits = n_accesses - misses
         cost.tlb_misses += misses
         cost.tlb_hits += hits
-        self.counters.add(f"tlb.{label}.miss", misses)
-        self.counters.add(f"tlb.{label}.hit", hits)
+        self.counters.add(SplitTLB._MISS_NAMES[page_size], misses)
+        self.counters.add(SplitTLB._HIT_NAMES[page_size], hits)
         cost.ns += misses * self.tlb.config.walk_ns(page_size)
         cost.ns += n_accesses * self.cache.config.miss_ns
         cost.cache_misses += n_accesses

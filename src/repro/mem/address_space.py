@@ -16,15 +16,15 @@ noise.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.mem.hugetlbfs import HugeTLBfs
-from repro.mem.paging import PageTable
+from repro.mem.paging import PageTable, PageTableEntry
 from repro.mem.physical import (
     PAGE_2M,
     PAGE_4K,
-    OutOfMemoryError,
     PhysicalMemory,
     align_up,
 )
@@ -69,6 +69,43 @@ class VMA:
         return self.start <= vaddr < self.end
 
 
+class VMATranslations:
+    """Cached translations of one VMA: the fast path's page-walk skip.
+
+    Holds the VMA's leaf page-table entries in address order plus a
+    prefix count of physical discontinuities, so a streaming sweep can
+    read its prefetcher restart count in O(1) instead of touching every
+    page.  Entries are the *live* :class:`PageTableEntry` objects (pin
+    counts and CoW flags stay accurate); the cache is dropped whenever a
+    translation can change (munmap, sbrk, CoW copy — see
+    :meth:`AddressSpace._invalidate_translations`).
+    """
+
+    __slots__ = ("start", "length", "page_size", "entries", "break_prefix")
+
+    def __init__(self, start: int, length: int, page_size: int,
+                 entries: List[PageTableEntry]):
+        self.start = start
+        self.length = length
+        self.page_size = page_size
+        self.entries = entries
+        prefix = [0] * len(entries)
+        breaks = 0
+        prev = entries[0]
+        for i in range(1, len(entries)):
+            entry = entries[i]
+            if prev.paddr + page_size != entry.paddr:
+                breaks += 1
+            prefix[i] = breaks
+            prev = entry
+        self.break_prefix = prefix
+
+    def restarts(self, first_idx: int, last_idx: int) -> int:
+        """Prefetcher stream restarts over entries [first..last]: one
+        cold start plus one per physical discontinuity inside the run."""
+        return 1 + self.break_prefix[last_idx] - self.break_prefix[first_idx]
+
+
 class AddressSpace:
     """One process's virtual address space.
 
@@ -95,6 +132,11 @@ class AddressSpace:
         self._brk = BRK_BASE
         self._mmap_cursor = MMAP_TOP
         self._huge_cursor = HUGE_BASE
+        # fast path: cached per-VMA translations + a sorted-start index
+        # for O(log n) VMA lookup (rebuilt lazily after map changes)
+        self._xlate_cache: Dict[int, VMATranslations] = {}
+        self._vma_starts: List[int] = []
+        self._vma_index_dirty = True
 
     # -- introspection -----------------------------------------------------
     @property
@@ -109,10 +151,72 @@ class AddressSpace:
 
     def find_vma(self, vaddr: int) -> Optional[VMA]:
         """The VMA containing *vaddr*, or None."""
-        for vma in self._vmas.values():
-            if vma.contains(vaddr):
-                return vma
-        return None
+        if self._vma_index_dirty:
+            self._vma_starts = sorted(self._vmas)
+            self._vma_index_dirty = False
+        starts = self._vma_starts
+        i = bisect_right(starts, vaddr) - 1
+        if i < 0:
+            return None
+        vma = self._vmas[starts[i]]
+        return vma if vaddr < vma.end else None
+
+    # -- cached translations (fast path) -----------------------------------
+    def vma_translations(self, vma: VMA) -> Optional[VMATranslations]:
+        """Cached leaf entries of *vma*, building on first use.
+
+        Returns None when the VMA's pages cannot be served from a single
+        leaf table (partially unmapped, or 4 KB pages shadowed by a
+        hugepage mapping) — callers must fall back to per-page lookups.
+        """
+        cached = self._xlate_cache.get(vma.start)
+        if (
+            cached is not None
+            and cached.length == vma.length
+            and cached.page_size == vma.page_size
+        ):
+            return cached
+        ps = vma.page_size
+        table = self.page_table.leaf_table(ps)
+        huge = self.page_table.leaf_table(PAGE_2M)
+        check_shadow = ps == PAGE_4K and bool(huge)
+        entries: List[PageTableEntry] = []
+        append = entries.append
+        for base in range(vma.start, vma.start + vma.length, ps):
+            entry = table.get(base)
+            if entry is None:
+                return None
+            if check_shadow and (base - base % PAGE_2M) in huge:
+                # lookup() prefers the hugepage leaf — don't cache a view
+                # that disagrees with the reference walk
+                return None
+            append(entry)
+        if not entries:
+            return None
+        xlate = VMATranslations(vma.start, vma.length, ps, entries)
+        self._xlate_cache[vma.start] = xlate
+        return xlate
+
+    def translation_run(
+        self, vaddr: int, nbytes: int
+    ) -> Optional[Tuple[VMATranslations, int, int]]:
+        """Cached translations covering ``[vaddr, vaddr+nbytes)``.
+
+        Returns ``(xlate, first_idx, last_idx)`` — the inclusive entry
+        index range inside ``xlate.entries`` — or None when the range is
+        not wholly inside one cacheable VMA (fall back to page walks).
+        """
+        if nbytes <= 0:
+            return None
+        vma = self.find_vma(vaddr)
+        if vma is None or vaddr + nbytes > vma.end:
+            return None
+        xlate = self.vma_translations(vma)
+        if xlate is None:
+            return None
+        ps = xlate.page_size
+        off = vaddr - vma.start
+        return xlate, off // ps, (off + nbytes - 1) // ps
 
     def translate(self, vaddr: int):
         """``(paddr, page_size)`` for *vaddr* (faults if unmapped)."""
@@ -138,17 +242,9 @@ class AddressSpace:
             length = align_up(length, PAGE_4K)
             n_pages = length // PAGE_4K
             start = self._mmap_cursor - length
-            frames = []
-            try:
-                for _ in range(n_pages):
-                    frames.append(self.physical.alloc_frame())
-            except OutOfMemoryError:
-                for f in frames:
-                    self.physical.free_frame(f)
-                raise
+            frames = self.physical.alloc_frames(n_pages)
             vma = VMA(start=start, length=length, page_size=PAGE_4K, kind="anon", name=name)
-            for i, paddr in enumerate(frames):
-                self.page_table.map(start + i * PAGE_4K, paddr, PAGE_4K)
+            self.page_table.bulk_map(start, frames, PAGE_4K)
             self._mmap_cursor = start - PAGE_4K  # guard page gap
         elif page_size == PAGE_2M:
             if self.hugetlbfs is None:
@@ -158,13 +254,13 @@ class AddressSpace:
             frames = self.hugetlbfs.acquire(n_pages, keep_reserve=keep_hugepage_reserve)
             start = self._huge_cursor
             vma = VMA(start=start, length=length, page_size=PAGE_2M, kind="huge", name=name)
-            for i, paddr in enumerate(frames):
-                self.page_table.map(start + i * PAGE_2M, paddr, PAGE_2M)
+            self.page_table.bulk_map(start, frames, PAGE_2M)
             self.hugetlbfs.notice_acquired(n_pages)
             self._huge_cursor = start + length + PAGE_2M  # guard gap
         else:
             raise MappingError(f"unsupported page size {page_size}")
         self._vmas[vma.start] = vma
+        self._vma_index_dirty = True
         return vma
 
     def munmap(self, start: int) -> None:
@@ -192,6 +288,8 @@ class AddressSpace:
             for paddr in freed:
                 self.physical.free_frame(paddr)
         del self._vmas[start]
+        self._xlate_cache.pop(start, None)
+        self._vma_index_dirty = True
 
     # -- brk -------------------------------------------------------------------
     def sbrk(self, delta: int) -> int:
@@ -209,22 +307,16 @@ class AddressSpace:
         new_top = align_up(new_brk, PAGE_4K)
         if new_top > old_top:
             n_new = (new_top - old_top) // PAGE_4K
-            frames = []
-            try:
-                for _ in range(n_new):
-                    frames.append(self.physical.alloc_frame())
-            except OutOfMemoryError:
-                for f in frames:
-                    self.physical.free_frame(f)
-                raise
-            for i, paddr in enumerate(frames):
-                self.page_table.map(old_top + i * PAGE_4K, paddr, PAGE_4K)
+            frames = self.physical.alloc_frames(n_new)
+            self.page_table.bulk_map(old_top, frames, PAGE_4K)
+            self._xlate_cache.pop(BRK_BASE, None)
         elif new_top < old_top:
             for hook in self.unmap_hooks:
                 hook(new_top, old_top - new_top)
             for base in range(new_top, old_top, PAGE_4K):
                 entry = self.page_table.unmap(base, PAGE_4K)
                 self.physical.free_frame(entry.paddr)
+            self._xlate_cache.pop(BRK_BASE, None)
         self._brk = new_brk
         self._sync_brk_vma()
         return old_brk
@@ -237,6 +329,7 @@ class AddressSpace:
             )
         else:
             self._vmas.pop(BRK_BASE, None)
+        self._vma_index_dirty = True
 
     # -- fork / Copy-on-Write ---------------------------------------------------
     def fork(self) -> "AddressSpace":
@@ -301,6 +394,10 @@ class AddressSpace:
         old_paddr = entry.paddr
         entry.paddr = new_paddr
         entry.cow = False
+        # the frame moved: any cached physical-adjacency prefix is stale
+        vma = self.find_vma(vaddr)
+        if vma is not None:
+            self._xlate_cache.pop(vma.start, None)
         # drop our reference to the shared frame
         if entry.page_size == PAGE_2M:
             self.physical.free_hugepage(old_paddr)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.analysis.counters import CounterSet
+from repro.fastpath import lru_sweep
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,25 @@ class DataCache:
         self._lines[line] = True
         return False, self.config.miss_ns
 
+    def sweep(self, first_line: int, n_lines: int, write: bool = False) -> Tuple[int, int, float]:
+        """Access *n_lines* consecutive cache lines in one call.
+
+        Exactly equivalent to per-line :meth:`access` calls on physical
+        addresses covering lines ``first_line .. first_line+n_lines-1``:
+        identical hit/miss totals and counters, identical final LRU
+        content and order.  Returns ``(hits, misses, cost_ns)``.
+        """
+        if n_lines <= 0:
+            raise ValueError(f"n_lines must be positive, got {n_lines}")
+        hits, misses = lru_sweep(
+            self._lines, first_line, n_lines, 1, self.config.capacity_lines
+        )
+        if hits:
+            self.counters.add("cache.hit", hits)
+        if misses:
+            self.counters.add("cache.miss", misses)
+        return hits, misses, hits * self.config.hit_ns + misses * self.config.miss_ns
+
     def resident_lines(self) -> int:
         """Number of valid lines."""
         return len(self._lines)
@@ -114,8 +134,9 @@ class Prefetcher:
         cfg = self.config
         restart_lines = min(n_lines, n_restarts * cfg.stream_restart_lines)
         prefetched = n_lines - restart_lines
-        self.counters.add("prefetch.lines", prefetched)
-        self.counters.add("prefetch.restarts", n_restarts)
+        self.counters.add_many(
+            (("prefetch.lines", prefetched), ("prefetch.restarts", n_restarts))
+        )
         return restart_lines * cfg.miss_ns + prefetched * cfg.prefetch_hit_ns
 
     def lines_for(self, nbytes: int) -> int:

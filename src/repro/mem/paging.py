@@ -23,7 +23,7 @@ class TranslationFault(Exception):
         self.vaddr = vaddr
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """One leaf translation.
 
@@ -79,6 +79,60 @@ class PageTable:
         entry = PageTableEntry(vaddr=vaddr, paddr=paddr, page_size=page_size)
         table[vaddr] = entry
         return entry
+
+    def bulk_map(self, vaddr: int, frames, page_size: int) -> "list[PageTableEntry]":
+        """Install consecutive leaf translations starting at *vaddr*,
+        one per physical frame in *frames*; returns the new entries.
+
+        Equivalent to calling :meth:`map` once per frame at
+        ``vaddr, vaddr + page_size, ...`` but with the validity checks
+        hoisted out of the per-page loop.
+        """
+        if page_size not in (PAGE_4K, PAGE_2M):
+            raise ValueError(f"unsupported page size {page_size}")
+        end = vaddr + len(frames) * page_size
+        if page_size == PAGE_2M:
+            # probe whichever side is smaller: the 4 KB bases inside the
+            # range, or the whole 4 KB table
+            small = self._small
+            n_range = (end - vaddr) // PAGE_4K
+            if len(small) <= n_range:
+                clash = any(vaddr <= sm < end for sm in small)
+            else:
+                clash = any(
+                    sm in small for sm in range(vaddr, end, PAGE_4K)
+                )
+            if clash:
+                raise ValueError(f"{vaddr:#x} overlaps existing 4 KB mappings")
+        table = self._huge if page_size == PAGE_2M else self._small
+        if vaddr % page_size:
+            # bases step by page_size, so aligning the first aligns all
+            raise ValueError(
+                f"unaligned mapping {vaddr:#x} ({page_size} B page)"
+            )
+        entries = []
+        append = entries.append
+        base = vaddr
+        for paddr in frames:
+            if paddr % page_size:
+                raise ValueError(
+                    f"unaligned mapping {base:#x} -> {paddr:#x} ({page_size} B page)"
+                )
+            if base in table:
+                raise ValueError(f"{base:#x} is already mapped")
+            entry = PageTableEntry(base, paddr, page_size)
+            table[base] = entry
+            append(entry)
+            base += page_size
+        return entries
+
+    def leaf_table(self, page_size: int) -> Dict[int, PageTableEntry]:
+        """The leaf-entry dict for *page_size* (read-only use)."""
+        if page_size == PAGE_2M:
+            return self._huge
+        if page_size == PAGE_4K:
+            return self._small
+        raise ValueError(f"unsupported page size {page_size}")
 
     def unmap(self, vaddr: int, page_size: int) -> PageTableEntry:
         """Remove a leaf translation; pinned pages may not be unmapped."""

@@ -142,6 +142,39 @@ class PhysicalMemory:
             self._refill_window()
         return self._window.pop()
 
+    def alloc_frames(self, n: int) -> List[int]:
+        """Allocate *n* 4 KB frames in one call.
+
+        Returns exactly the frames ``n`` consecutive :meth:`alloc_frame`
+        calls would return, in the same order (freed frames first, then
+        shuffle-window frames) — allocation order feeds the prefetcher
+        model, so the bulk path must not perturb it.  On exhaustion the
+        partial allocation is returned to the pool (mirroring the
+        allocate-then-rollback idiom of the per-frame callers) and
+        :class:`OutOfMemoryError` propagates.
+        """
+        if n <= 0:
+            raise ValueError(f"frame count must be positive, got {n}")
+        frames: List[int] = []
+        try:
+            returned = self._returned
+            while returned and len(frames) < n:
+                frames.append(returned.pop())
+            remaining = n - len(frames)
+            while remaining:
+                if not self._window:
+                    self._refill_window()
+                window = self._window
+                take = remaining if remaining < len(window) else len(window)
+                frames += window[: -take - 1 : -1]
+                del window[-take:]
+                remaining -= take
+        except OutOfMemoryError:
+            for paddr in frames:
+                self.free_frame(paddr)
+            raise
+        return frames
+
     def free_frame(self, paddr: int) -> None:
         """Return a 4 KB frame to the pool (or drop a CoW reference)."""
         if not is_aligned(paddr, PAGE_4K) or paddr >= self._huge_base:

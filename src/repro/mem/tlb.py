@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.analysis.counters import CounterSet
+from repro.fastpath import lru_sweep
 from repro.mem.physical import PAGE_2M, PAGE_4K, align_down
 
 
@@ -76,6 +77,11 @@ class TLBConfig:
 class SplitTLB:
     """Stateful fully-associative LRU TLB with per-page-size arrays."""
 
+    #: counter names per page size, precomputed so the hot translation
+    #: path never rebuilds (and re-hashes) f-strings
+    _HIT_NAMES = {PAGE_4K: "tlb.4k.hit", PAGE_2M: "tlb.2m.hit"}
+    _MISS_NAMES = {PAGE_4K: "tlb.4k.miss", PAGE_2M: "tlb.2m.miss"}
+
     def __init__(self, config: TLBConfig, counters: Optional[CounterSet] = None):
         self.config = config
         self.counters = counters if counters is not None else CounterSet()
@@ -92,17 +98,42 @@ class SplitTLB:
         """
         array = self._arrays[page_size]
         vpage = align_down(vaddr, page_size)
-        label = "4k" if page_size == PAGE_4K else "2m"
         if vpage in array:
             array.move_to_end(vpage)
-            self.counters.add(f"tlb.{label}.hit")
+            self.counters.add(self._HIT_NAMES[page_size])
             return True, 0.0
-        self.counters.add(f"tlb.{label}.miss")
+        self.counters.add(self._MISS_NAMES[page_size])
         capacity = self.config.entries_for(page_size)
         while len(array) >= capacity:
             array.popitem(last=False)
         array[vpage] = True
         return False, self.config.walk_ns(page_size)
+
+    def sweep(self, vbase: int, n_pages: int, page_size: int) -> Tuple[int, int, float]:
+        """Translate a sequential sweep over *n_pages* pages in one call.
+
+        Exactly equivalent to ``n_pages`` consecutive :meth:`access`
+        calls on ``vbase, vbase + page_size, ...`` (*vbase* must be
+        page-aligned): identical hit/miss totals and counters, identical
+        final array content and LRU order.  Returns
+        ``(hits, misses, walk_ns_total)``.
+        """
+        if n_pages <= 0:
+            raise ValueError(f"n_pages must be positive, got {n_pages}")
+        if vbase % page_size:
+            raise ValueError(f"unaligned sweep base {vbase:#x}")
+        hits, misses = lru_sweep(
+            self._arrays[page_size],
+            vbase,
+            n_pages,
+            page_size,
+            self.config.entries_for(page_size),
+        )
+        if hits:
+            self.counters.add(self._HIT_NAMES[page_size], hits)
+        if misses:
+            self.counters.add(self._MISS_NAMES[page_size], misses)
+        return hits, misses, misses * self.config.walk_ns(page_size)
 
     def flush(self) -> None:
         """Drop all entries (context switch)."""

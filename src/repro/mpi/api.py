@@ -158,7 +158,7 @@ class Endpoint:
 
     def expect_send_completion(self, wr_id: int) -> Event:
         """Event that fires when the send WR *wr_id* completes locally."""
-        ev = Event(self.kernel)
+        ev = self.kernel.event()
         self._send_events[wr_id] = ev
         return ev
 

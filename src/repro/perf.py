@@ -1,0 +1,320 @@
+"""Tracked performance harness: fast path vs reference path.
+
+``repro perf`` times every figure driver twice — once with the batched
+fast paths of :mod:`repro.fastpath` enabled, once forced onto the
+reference per-element loops — and records, per benchmark:
+
+- ``fast_s`` / ``ref_s``: best-of-N wall-clock seconds on each path,
+- ``speedup``: ``ref_s / fast_s``,
+- ``identical``: whether both paths produced *exactly* the same result
+  payload (every reported tick, latency and counter-derived figure).
+
+``identical: false`` anywhere is a hard failure — the fast paths exist
+only because they are bit-equivalent (see ``docs/performance.md``).
+
+Results are written to a JSON file (default ``BENCH_PR2.json``), keyed
+by mode (``full`` / ``quick``) so a quick CI run compares against the
+quick section of the committed baseline.  ``--compare BASELINE`` fails
+(exit 1) when the headline ``fig5`` speedup regresses more than
+``1 - REGRESSION_TOLERANCE`` relative to the baseline's same-mode entry
+— a *ratio* of two timings on the same machine, so the check is
+machine-independent.
+
+The two sweep scales are deliberate: the paper-scale figure commands
+(``repro fig5``/``fig6 --class W``) are event-bound and gain ~1.3x from
+the fast paths; the perf benchmarks below run the same drivers at
+production scale (messages to 64 MB, NAS class B) where per-page /
+per-entry reference costing dominates and the batched paths pay off
+3-4x.  Both scales are reported honestly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro import fastpath
+
+KB = 1024
+MB = 1024 * 1024
+
+SCHEMA = "repro-perf/1"
+
+#: ``--compare`` fails when fig5's speedup drops below this fraction of
+#: the baseline's (0.8 = a >20 % regression fails)
+REGRESSION_TOLERANCE = 0.8
+
+
+# ---------------------------------------------------------------------------
+# benchmark payloads
+#
+# Each benchmark returns a plain tuple of the driver's reported numbers.
+# The harness runs it on both paths and compares the tuples with ``==``:
+# any tick, latency or counter-derived value that diverges flips
+# ``identical`` to false.
+# ---------------------------------------------------------------------------
+
+def _bench_fig3(quick: bool):
+    """Fig 3 driver: SGE count/size sweep at the verbs level."""
+    from repro.workloads.verbs_micro import measure_send
+
+    sizes = [8, 64, 512, 2048] if quick else [1, 8, 32, 64, 128, 256, 512,
+                                              1024, 2048]
+    counts = [1, 2, 4, 8, 32, 128]
+    return tuple(
+        measure_send(sges=n, sge_size=s).total_ticks
+        for s in sizes for n in counts
+    )
+
+
+def _bench_fig4(quick: bool):
+    """Fig 4 driver: in-page offset sweep."""
+    from repro.workloads.verbs_micro import measure_send
+
+    offsets = range(0, 129, 32) if quick else range(0, 129, 8)
+    sizes = [8, 16, 32, 64]
+    return tuple(
+        measure_send(sges=1, sge_size=s, offset=off).total_ticks
+        for off in offsets for s in sizes
+    )
+
+
+def _bench_fig5(quick: bool):
+    """Fig 5 driver (IMB SendRecv) at benchmark scale.
+
+    Same 4 placement curves as ``repro fig5``, but swept to 64 MB
+    messages — the regime the registration/ATT fast paths target.
+    """
+    from repro.systems import presets
+    from repro.workloads.imb import SendRecvBenchmark
+
+    bench = SendRecvBenchmark(presets.opteron_infinihost_pcie)
+    if quick:
+        sizes = [1 * MB, 4 * MB, 16 * MB, 32 * MB]
+        curves = [(False, True), (True, True)]
+        iterations = 3
+    else:
+        sizes = [256 * KB, 1 * MB, 4 * MB, 16 * MB, 64 * MB]
+        curves = [(False, True), (True, True), (False, False), (True, False)]
+        iterations = 5
+    payload: List[tuple] = []
+    for hugepages, lazy in curves:
+        result = bench.run(sizes, hugepages=hugepages, lazy_dereg=lazy,
+                           iterations=iterations, warmup=1)
+        payload.extend(
+            (hugepages, lazy, row.size, row.ticks_per_iter, row.latency_us,
+             row.bandwidth_mb_s)
+            for row in result.rows
+        )
+    return tuple(payload)
+
+
+def _bench_fig6(quick: bool):
+    """Fig 6 driver: the NAS hugepage comparison (class B; W when quick)."""
+    from repro.systems import presets
+    from repro.workloads.nas import KERNELS
+    from repro.workloads.nas.common import compare_hugepages
+
+    klass = "W" if quick else "B"
+    payload: List[tuple] = []
+    for name, prog in KERNELS.items():
+        c = compare_hugepages(prog, presets.opteron_infinihost_pcie(),
+                              klass=klass, nas_hugepage_pool=720)
+        payload.append((
+            name,
+            c.small.total_ticks, c.huge.total_ticks,
+            c.small.comm_ticks, c.huge.comm_ticks,
+            c.small.compute_ticks, c.huge.compute_ticks,
+            c.small.tlb_misses_4k, c.small.tlb_misses_2m,
+            c.huge.tlb_misses_4k, c.huge.tlb_misses_2m,
+            c.small.regcache_hits, c.small.regcache_misses,
+            c.huge.regcache_hits, c.huge.regcache_misses,
+        ))
+    return tuple(payload)
+
+
+def _bench_nas(quick: bool):
+    """The NAS suite on 4 KB pages (class B; W when quick).
+
+    The small-page configuration is the page-count-heavy half of Fig 6 —
+    the regime where per-page reference loops dominate (the hugepage
+    half has ~500x fewer pages and gains almost nothing, which is the
+    paper's point).
+    """
+    from repro.systems import presets
+    from repro.workloads.nas import KERNELS
+    from repro.workloads.nas.common import run_nas
+
+    klass = "W" if quick else "B"
+    payload: List[tuple] = []
+    for name, prog in KERNELS.items():
+        r = run_nas(prog, presets.opteron_infinihost_pcie(), hugepages=False,
+                    klass=klass, nas_hugepage_pool=720)
+        payload.append((
+            name, r.total_ticks, r.comm_ticks, r.compute_ticks, r.verified,
+            r.tlb_misses_4k, r.tlb_misses_2m,
+            r.regcache_hits, r.regcache_misses,
+        ))
+    return tuple(payload)
+
+
+@dataclass
+class BenchSpec:
+    """One tracked benchmark: a driver and how often to repeat it."""
+
+    name: str
+    describe: str
+    run: Callable[[bool], tuple]
+    #: timed repetitions per path (min is reported); heavy drivers run once
+    repeats: int
+    quick_repeats: int
+
+
+BENCHMARKS: List[BenchSpec] = [
+    BenchSpec("fig3", "SGE sweep (verbs micro)", _bench_fig3, 3, 3),
+    BenchSpec("fig4", "offset sweep (verbs micro)", _bench_fig4, 3, 3),
+    BenchSpec("fig5", "IMB SendRecv placement-curve sweep", _bench_fig5, 2, 3),
+    BenchSpec("fig6", "NAS hugepage comparison, class B", _bench_fig6, 1, 1),
+    BenchSpec("nas", "NAS suite, 4 KB pages, class B", _bench_nas, 1, 1),
+]
+
+
+# ---------------------------------------------------------------------------
+# the harness
+# ---------------------------------------------------------------------------
+
+def _prime() -> None:
+    """Pay one-time import/setup costs before anything is timed."""
+    from repro.workloads import imb, nas, verbs_micro  # noqa: F401
+    from repro.workloads.verbs_micro import measure_send
+
+    measure_send(sges=1, sge_size=64)
+
+
+def _time_path(spec: BenchSpec, quick: bool, fast: bool):
+    """Run *spec* on one path; returns ``(best_seconds, payload)``."""
+    repeats = spec.quick_repeats if quick else spec.repeats
+    best = float("inf")
+    payload = None
+    with fastpath.forced(fast):
+        for _ in range(repeats):
+            start = time.perf_counter()
+            payload = spec.run(quick)
+            best = min(best, time.perf_counter() - start)
+    return best, payload
+
+
+def run_benchmarks(quick: bool = False,
+                   only: Optional[List[str]] = None) -> Dict[str, dict]:
+    """Time every benchmark on both paths; returns the results mapping."""
+    _prime()
+    results: Dict[str, dict] = {}
+    for spec in BENCHMARKS:
+        if only and spec.name not in only:
+            continue
+        print(f"  {spec.name}: {spec.describe} ...", file=sys.stderr)
+        fast_s, fast_payload = _time_path(spec, quick, fast=True)
+        ref_s, ref_payload = _time_path(spec, quick, fast=False)
+        identical = fast_payload == ref_payload
+        results[spec.name] = {
+            "describe": spec.describe,
+            "fast_s": round(fast_s, 4),
+            "ref_s": round(ref_s, 4),
+            "speedup": round(ref_s / fast_s, 3) if fast_s else 0.0,
+            "identical": identical,
+        }
+        print(f"  {spec.name}: fast={fast_s:.3f}s ref={ref_s:.3f}s "
+              f"speedup={ref_s / fast_s:.2f}x identical={identical}",
+              file=sys.stderr)
+    return results
+
+
+def render_results(mode: str, results: Dict[str, dict]) -> str:
+    """A human-readable summary table."""
+    from repro.analysis.report import Table
+
+    table = Table(["benchmark", "fast [s]", "ref [s]", "speedup", "identical"],
+                  title=f"repro perf ({mode} mode): fast path vs reference")
+    for name, r in results.items():
+        table.add_row([name, r["fast_s"], r["ref_s"],
+                       f"{r['speedup']:.2f}x", str(r["identical"])])
+    return table.render()
+
+
+def write_results(path: str, mode: str, results: Dict[str, dict]) -> None:
+    """Merge this run's *mode* section into the JSON file at *path*."""
+    doc = {"schema": SCHEMA, "modes": {}}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+            if existing.get("schema") == SCHEMA:
+                doc = existing
+        except (OSError, ValueError):
+            pass
+    doc.setdefault("modes", {})[mode] = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def compare_results(baseline_path: str, mode: str,
+                    results: Dict[str, dict]) -> List[str]:
+    """Regression check against a committed baseline; returns failures.
+
+    Only speedup *ratios* are compared (same-machine fast vs ref), never
+    absolute seconds, so the check holds across hardware.
+    """
+    failures: List[str] = []
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read baseline {baseline_path}: {exc}"]
+    section = (baseline.get("modes") or {}).get(mode)
+    if section is None:
+        return [f"baseline {baseline_path} has no '{mode}' section"]
+    base = section.get("results", {})
+    for name in ("fig5",):
+        cur, ref = results.get(name), base.get(name)
+        if cur is None or ref is None:
+            continue
+        floor = REGRESSION_TOLERANCE * ref["speedup"]
+        if cur["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {cur['speedup']:.2f}x regressed >"
+                f"{(1 - REGRESSION_TOLERANCE) * 100:.0f}% vs baseline "
+                f"{ref['speedup']:.2f}x (floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def run_perf(quick: bool = False, out: str = "BENCH_PR2.json",
+             compare: Optional[str] = None,
+             only: Optional[List[str]] = None) -> int:
+    """The ``repro perf`` entry point; returns a process exit code."""
+    mode = "quick" if quick else "full"
+    results = run_benchmarks(quick=quick, only=only)
+    print(render_results(mode, results))
+    failures = [f"{name}: fast and reference paths diverged"
+                for name, r in results.items() if not r["identical"]]
+    if compare:
+        failures += compare_results(compare, mode, results)
+    if out:
+        write_results(out, mode, results)
+        print(f"\nresults written to {out} (mode: {mode})")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
