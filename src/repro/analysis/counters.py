@@ -77,8 +77,16 @@ class CounterSet:
         return out
 
     def snapshot(self) -> Dict[str, int]:
-        """A frozen copy of all counters."""
-        return dict(self._counts)
+        """A frozen copy of all counters, keys in sorted order (so
+        snapshots — and every report built from one — diff cleanly
+        across runs regardless of increment order)."""
+        return dict(sorted(self._counts.items()))
+
+    def restore(self, mapping: Mapping[str, int]) -> None:
+        """Replace all counters with *mapping* (checkpoint restore)."""
+        self._counts.clear()
+        for name, value in mapping.items():
+            self._counts[intern(name)] = value
 
     def diff(self, baseline: Mapping[str, int]) -> Dict[str, int]:
         """Counters accumulated since *baseline* (a prior snapshot)."""

@@ -25,12 +25,24 @@ batched fast paths — results are identical either way, only slower (see
 
 ``fig5``, ``pingpong`` and ``faults`` accept ``--fault-plan
 key=value,...`` and ``--fault-seed N`` to run under injected faults
-(see :mod:`repro.faults` and ``docs/fault_model.md``).
+(see :mod:`repro.faults` and ``docs/fault_model.md``).  The plan may
+also be a path to a JSON file of the same knobs.
+
+``fig5``, ``fig6``, ``tlb`` and ``faults`` additionally accept
+``--checkpoint-every N`` / ``--checkpoint-dir DIR`` (snapshot the run
+ledger every N simulated ticks), ``--audit`` (run the cross-layer
+invariant auditor after every unit) and ``--hang-timeout SECONDS`` (a
+wall-clock watchdog that dumps a post-mortem and exits non-zero if the
+event loop stalls).  ``repro resume <snapshot>`` re-runs a checkpointed
+command, replaying completed units from the snapshot — see
+``docs/checkpointing.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List, Optional
 
@@ -75,16 +87,55 @@ def _cmd_fig4(args) -> None:
 
 
 def _parse_fault_plan(args):
-    """The FaultPlan from ``--fault-plan``/``--fault-seed``, or None."""
+    """The FaultPlan from ``--fault-plan``/``--fault-seed``, or None.
+
+    The spec is either the inline ``key=value,...`` form or a path to a
+    JSON file holding the same knobs as an object.
+    """
     from repro.faults import FaultPlan
 
     spec = getattr(args, "fault_plan", None)
     if spec is None:
         return None
+    seed = getattr(args, "fault_seed", 0)
     try:
-        return FaultPlan.from_spec(spec, seed=getattr(args, "fault_seed", 0))
+        if spec.endswith(".json") or os.path.sep in spec or os.path.isfile(spec):
+            return FaultPlan.from_file(spec, seed=seed)
+        return FaultPlan.from_spec(spec, seed=seed)
     except ValueError as exc:
         raise SystemExit(f"error: --fault-plan: {exc}")
+
+
+@contextlib.contextmanager
+def _harness(args):
+    """Per-run checkpoint ledger plus the optional hang watchdog.
+
+    Yields a :class:`repro.checkpoint.RunCheckpointer` (a passthrough
+    when no checkpoint flags were given).
+    """
+    from repro.checkpoint import HangWatchdog, RunCheckpointer
+
+    ckpt = RunCheckpointer(
+        command=args.command,
+        argv=getattr(args, "_argv", []),
+        directory=getattr(args, "checkpoint_dir", None),
+        every_ticks=getattr(args, "checkpoint_every", None),
+        audit=getattr(args, "audit", False),
+        preloaded_units=getattr(args, "_resume_units", None),
+    )
+    watchdog = None
+    timeout = getattr(args, "hang_timeout", None)
+    if timeout:
+        watchdog = HangWatchdog(
+            timeout,
+            snapshot_dir=getattr(args, "checkpoint_dir", None) or "checkpoints",
+        )
+        watchdog.start()
+    try:
+        yield ckpt
+    finally:
+        if watchdog is not None:
+            watchdog.stop()
 
 
 def _cmd_fig5(args) -> None:
@@ -102,9 +153,15 @@ def _cmd_fig5(args) -> None:
         "small, no lazy dereg": (False, False),
         "huge, no lazy dereg": (True, False),
     }
-    results = {label: bench.run(sizes, hugepages=hp, lazy_dereg=lazy,
+    results = {}
+    with _harness(args) as ckpt:
+        for label, (hp, lazy) in curves.items():
+            def unit(hp=hp, lazy=lazy):
+                res = bench.run(sizes, hugepages=hp, lazy_dereg=lazy,
                                 fault_plan=plan)
-               for label, (hp, lazy) in curves.items()}
+                cluster = bench.last_cluster
+                return res, cluster.kernel.now, cluster
+            results[label] = ckpt.run_unit(f"fig5:{label}", unit)
     title = "Fig 5: IMB SendRecv bandwidth [MB/s] (AMD Opteron)"
     if plan is not None:
         title += f" under faults: {args.fault_plan}"
@@ -170,12 +227,19 @@ def _cmd_fig6(args) -> None:
     table = Table(["kernel", "comm %", "other %", "overall %", "TLB x"],
                   title=f"Fig 6: NAS class {args.klass}, AMD Opteron, "
                         "2 nodes x 4 ranks")
-    for name, prog in KERNELS.items():
-        c = compare_hugepages(prog, presets.opteron_infinihost_pcie(),
-                              klass=args.klass, nas_hugepage_pool=720)
-        table.add_row([name, c.comm_improvement_pct, c.other_improvement_pct,
-                       c.overall_improvement_pct, c.tlb_miss_ratio])
-        print(f"  {name} done", file=sys.stderr)
+    with _harness(args) as ckpt:
+        for name, prog in KERNELS.items():
+            def unit(prog=prog):
+                sink = []
+                c = compare_hugepages(prog, presets.opteron_infinihost_pcie(),
+                                      klass=args.klass, nas_hugepage_pool=720,
+                                      cluster_sink=sink)
+                return c, sum(cl.kernel.now for cl in sink), sink
+            c = ckpt.run_unit(f"fig6:{name}:{args.klass}", unit)
+            table.add_row([name, c.comm_improvement_pct,
+                           c.other_improvement_pct,
+                           c.overall_improvement_pct, c.tlb_miss_ratio])
+            print(f"  {name} done", file=sys.stderr)
     print(table.render())
 
 
@@ -187,12 +251,18 @@ def _cmd_tlb(args) -> None:
 
     table = Table(["kernel", "misses 4K run", "misses hugepage run", "ratio"],
                   title=f"§5.2 TLB misses, NAS class {args.klass} (Opteron)")
-    for name, prog in KERNELS.items():
-        c = compare_hugepages(prog, presets.opteron_infinihost_pcie(),
-                              klass=args.klass, nas_hugepage_pool=720)
-        table.add_row([name, c.small.tlb_misses_total,
-                       c.huge.tlb_misses_total, c.tlb_miss_ratio])
-        print(f"  {name} done", file=sys.stderr)
+    with _harness(args) as ckpt:
+        for name, prog in KERNELS.items():
+            def unit(prog=prog):
+                sink = []
+                c = compare_hugepages(prog, presets.opteron_infinihost_pcie(),
+                                      klass=args.klass, nas_hugepage_pool=720,
+                                      cluster_sink=sink)
+                return c, sum(cl.kernel.now for cl in sink), sink
+            c = ckpt.run_unit(f"tlb:{name}:{args.klass}", unit)
+            table.add_row([name, c.small.tlb_misses_total,
+                           c.huge.tlb_misses_total, c.tlb_miss_ratio])
+            print(f"  {name} done", file=sys.stderr)
     print(table.render())
 
 
@@ -293,25 +363,41 @@ def _cmd_faults(args) -> None:
         return cluster, results, max(r.app_ticks for r in results)
 
     plan = _parse_fault_plan(args)
-    base_cluster, _, base_ticks = run(None)
-    clock = base_cluster.clock
-    print(f"workload: {n_msgs} x {size // KB} KB rendezvous transfers, "
-          f"rank 0 -> rank 1")
-    print(f"fault plan: {args.fault_plan} (seed {args.fault_seed})")
-    print(f"fault-free time: {clock.ticks_to_us(base_ticks):.1f} us")
-    try:
-        cluster, results, ticks = run(plan)
-    except MPITransportError as exc:
-        # the plan's retry budget was exhausted: a legal, clean outcome
-        print(f"with faults:     ABORTED ({exc})")
-        raise SystemExit(1)
-    ok = results[1].value == expected
+    # resumed runs replay from the ledger without a cluster, so the
+    # clock comes from the spec, not a live run
+    from repro.engine.clock import TickClock
+
+    clock = TickClock(presets.opteron_infinihost_pcie().ticks_per_us)
+    with _harness(args) as ckpt:
+        def baseline_unit():
+            cluster, _results, ticks = run(None)
+            return {"ticks": ticks}, ticks, cluster
+
+        base_ticks = ckpt.run_unit("faults:baseline", baseline_unit)["ticks"]
+        print(f"workload: {n_msgs} x {size // KB} KB rendezvous transfers, "
+              f"rank 0 -> rank 1")
+        print(f"fault plan: {args.fault_plan} (seed {args.fault_seed})")
+        print(f"fault-free time: {clock.ticks_to_us(base_ticks):.1f} us")
+
+        def faulted_unit():
+            cluster, results, ticks = run(plan)
+            return {"ticks": ticks, "got": results[1].value,
+                    "counters": cluster.aggregate_counters()}, ticks, cluster
+
+        try:
+            faulted = ckpt.run_unit("faults:faulted", faulted_unit)
+        except MPITransportError as exc:
+            # the plan's retry budget was exhausted: a legal, clean outcome
+            print(f"with faults:     ABORTED ({exc})")
+            raise SystemExit(1)
+    ok = faulted["got"] == expected
+    ticks = faulted["ticks"]
     print(f"with faults:     {clock.ticks_to_us(ticks):.1f} us "
           f"({ticks / base_ticks:.2f}x)")
     print("payload integrity: "
           + ("OK, every message correct" if ok else "FAILED"))
     print()
-    print(degradation_report(cluster.aggregate_counters(), clock=clock))
+    print(degradation_report(faulted["counters"], clock=clock))
     if not ok:
         raise SystemExit(1)
 
@@ -323,6 +409,37 @@ def _cmd_perf(args) -> None:
                     only=args.only)
     if code:
         raise SystemExit(code)
+
+
+def _cmd_resume(args) -> None:
+    """Resume a checkpointed run: re-parse the snapshot's argv and
+    dispatch its command with the unit ledger preloaded — completed
+    units replay from the snapshot instead of re-simulating."""
+    from repro.checkpoint import CheckpointError, read_snapshot
+
+    try:
+        _manifest, payload = read_snapshot(args.snapshot)
+    except CheckpointError as exc:
+        raise SystemExit(f"error: resume: {exc}")
+    if not isinstance(payload, dict) or payload.get("kind") != "run-ledger":
+        raise SystemExit(
+            f"error: resume: {args.snapshot!r} is a "
+            f"{payload.get('kind', 'unknown') if isinstance(payload, dict) else 'unknown'!r} "
+            "snapshot, not a run ledger (post-mortem cluster snapshots are "
+            "forensic; load them with repro.checkpoint.read_snapshot)")
+    command = payload.get("command")
+    if command not in COMMANDS:
+        raise SystemExit(f"error: resume: snapshot names unknown command {command!r}")
+    sub_args = _build_parser().parse_args(payload["argv"])
+    if sub_args.command != command:
+        raise SystemExit("error: resume: snapshot argv does not match its command")
+    sub_args._argv = list(payload["argv"])
+    sub_args._resume_units = payload["units"]
+    if getattr(sub_args, "no_fastpath", False):
+        from repro import fastpath
+
+        fastpath.set_enabled(False)
+    COMMANDS[command][0](sub_args)
 
 
 COMMANDS = {
@@ -338,11 +455,12 @@ COMMANDS = {
     "breakdown": (_cmd_breakdown, "per-component message cost analysis"),
     "faults": (_cmd_faults, "fault-injection demo: lossy link + report"),
     "perf": (_cmd_perf, "time fast vs reference paths, track BENCH_PR2.json"),
+    "resume": (_cmd_resume, "resume a checkpointed run from a snapshot"),
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+def _build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (shared by main() and ``repro resume``)."""
     # --no-fastpath is accepted both before and after the command name;
     # SUPPRESS keeps a subparser's default from clobbering a value the
     # main parser already set
@@ -372,10 +490,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             default_plan = "link_loss=0.01" if name == "faults" else None
             p.add_argument("--fault-plan", dest="fault_plan",
                            default=default_plan, metavar="SPEC",
-                           help="fault plan, e.g. link_loss=0.01,"
-                                "reg_transient=0.1 (see repro.faults)")
+                           help="fault plan: inline key=value,... spec or a "
+                                "path to a JSON plan file (see repro.faults)")
             p.add_argument("--fault-seed", dest="fault_seed", type=int,
                            default=0, help="fault injector RNG seed")
+        if name in ("fig5", "fig6", "tlb", "faults"):
+            p.add_argument("--checkpoint-every", dest="checkpoint_every",
+                           type=int, default=None, metavar="TICKS",
+                           help="snapshot the run ledger every N simulated "
+                                "ticks (0 = after every unit)")
+            p.add_argument("--checkpoint-dir", dest="checkpoint_dir",
+                           default=None, metavar="DIR",
+                           help="snapshot directory (default: checkpoints)")
+            p.add_argument("--audit", action="store_true",
+                           help="run the cross-layer invariant auditor after "
+                                "every unit")
+            p.add_argument("--hang-timeout", dest="hang_timeout", type=float,
+                           default=None, metavar="SECONDS",
+                           help="watchdog: dump a post-mortem and exit 2 if "
+                                "the event loop makes no progress for this "
+                                "many wall seconds")
+        if name == "resume":
+            p.add_argument("snapshot",
+                           help="snapshot file written by --checkpoint-every "
+                                "(e.g. checkpoints/latest.snap)")
         if name == "perf":
             p.add_argument("--quick", action="store_true",
                            help="smaller sweeps (the CI smoke configuration)")
@@ -388,7 +526,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             p.add_argument("--only", action="append", default=None,
                            metavar="NAME",
                            help="run only the named benchmark (repeatable)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
     args = parser.parse_args(argv)
+    # the raw argv is recorded in checkpoint manifests so `repro resume`
+    # can re-dispatch the identical command
+    args._argv = list(argv) if argv is not None else list(sys.argv[1:])
     if getattr(args, "no_fastpath", False):
         from repro import fastpath
 

@@ -303,6 +303,19 @@ class AnyOf(Event):
         return _cb
 
 
+#: the kernel currently inside :meth:`SimKernel.run`, if any.  The hang
+#: watchdog (:mod:`repro.checkpoint`) samples this from its own thread to
+#: tell "the event loop is stalled" apart from "the host is doing slow
+#: non-simulation work"; one global assignment per run() call keeps the
+#: hot loop untouched.
+_active_kernel: Optional["SimKernel"] = None
+
+
+def active_kernel() -> Optional["SimKernel"]:
+    """The kernel currently executing run(), or None between runs."""
+    return _active_kernel
+
+
 class SimKernel:
     """The event loop: a virtual clock plus a scheduling queue.
 
@@ -444,34 +457,39 @@ class SimKernel:
         """
         if until is not None and until < self._now:
             raise SimError(f"until={until} is in the past (now={self._now})")
-        queue = self._queue
-        pop = heapq.heappop
-        timeout_pool = self._timeout_pool
-        event_pool = self._event_pool
-        pool_max = self._POOL_MAX
-        while queue:
-            if until is not None and queue[0][0] > until:
+        global _active_kernel
+        _active_kernel = self
+        try:
+            queue = self._queue
+            pop = heapq.heappop
+            timeout_pool = self._timeout_pool
+            event_pool = self._event_pool
+            pool_max = self._POOL_MAX
+            while queue:
+                if until is not None and queue[0][0] > until:
+                    self._now = until
+                    return
+                when, _prio, _seq, event = pop(queue)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                event._processed = True
+                if callbacks:
+                    for cb in callbacks:
+                        cb(event)
+                if self._crash is not None:
+                    exc, self._crash = self._crash, None
+                    raise exc
+                # recycling: see step() for the reasoning
+                cls = type(event)
+                if cls is Timeout:
+                    if len(timeout_pool) < pool_max and getrefcount(event) == 2:
+                        event._value = None
+                        timeout_pool.append(event)
+                elif cls is Event:
+                    if len(event_pool) < pool_max and getrefcount(event) == 2:
+                        event._value = None
+                        event_pool.append(event)
+            if until is not None:
                 self._now = until
-                return
-            when, _prio, _seq, event = pop(queue)
-            self._now = when
-            callbacks, event.callbacks = event.callbacks, None
-            event._processed = True
-            if callbacks:
-                for cb in callbacks:
-                    cb(event)
-            if self._crash is not None:
-                exc, self._crash = self._crash, None
-                raise exc
-            # recycling: see step() for the reasoning
-            cls = type(event)
-            if cls is Timeout:
-                if len(timeout_pool) < pool_max and getrefcount(event) == 2:
-                    event._value = None
-                    timeout_pool.append(event)
-            elif cls is Event:
-                if len(event_pool) < pool_max and getrefcount(event) == 2:
-                    event._value = None
-                    event_pool.append(event)
-        if until is not None:
-            self._now = until
+        finally:
+            _active_kernel = None

@@ -40,9 +40,10 @@ something breaks and counts it under the ``faults.*`` namespace.
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, fields, replace
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.analysis.counters import CounterSet
 
@@ -181,6 +182,60 @@ class FaultPlan:
             else:
                 kwargs[key] = float(value)
         return cls(**kwargs)
+
+    #: knobs parsed as integers (everything else is a float probability)
+    _INT_KNOBS = ("retry_cnt", "rnr_retry", "seed", "hugepage_deplete_after")
+    #: knobs for which JSON ``null`` / Python None is a legal value
+    _OPTIONAL_KNOBS = ("hugepage_deplete_after", "ack_timeout_ns")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a decoded mapping (e.g. a JSON plan file).
+
+        Same knob names and validation as :meth:`from_spec`; a ``seed``
+        key in the mapping overrides the *seed* argument.  Raises
+        :class:`ValueError` on unknown knobs or non-numeric values so
+        callers share one error surface with the inline-spec parser.
+        """
+        if not isinstance(mapping, Mapping):
+            raise ValueError(
+                f"fault plan must be a JSON object of key=value knobs, "
+                f"got {type(mapping).__name__}"
+            )
+        kwargs = {"seed": seed}
+        valid = {f.name for f in fields(cls)}
+        for key, value in mapping.items():
+            if key not in valid:
+                raise ValueError(
+                    f"unknown fault knob {key!r}; valid: "
+                    f"{', '.join(sorted(valid))}"
+                )
+            if value is None and key in cls._OPTIONAL_KNOBS:
+                kwargs[key] = None
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"fault knob {key!r} needs a number, got {value!r}"
+                )
+            kwargs[key] = int(value) if key in cls._INT_KNOBS else float(value)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path: str, seed: int = 0) -> "FaultPlan":
+        """Load a plan from a JSON file: an object of knob/value pairs.
+
+        Every failure mode (unreadable file, malformed JSON, bad knobs)
+        raises :class:`ValueError` so the CLI's ``--fault-plan`` error
+        path handles files and inline specs identically.
+        """
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            raise ValueError(f"cannot read fault plan file {path!r}: {exc}")
+        except ValueError as exc:
+            raise ValueError(f"fault plan file {path!r} is not valid JSON: {exc}")
+        return cls.from_mapping(doc, seed=seed)
 
     def with_seed(self, seed: int) -> "FaultPlan":
         """A copy of this plan under a different seed."""

@@ -179,3 +179,15 @@ class ATTCache:
     def flush(self) -> None:
         """Drop everything."""
         self._cache.clear()
+
+    # -- checkpointing ------------------------------------------------------
+    def dump_state(self) -> list:
+        """Picklable snapshot: ``(mr_id, entry_index)`` keys in LRU
+        order (oldest first)."""
+        return [tuple(key) for key in self._cache]
+
+    def load_state(self, state: list) -> None:
+        """Restore a :meth:`dump_state` snapshot."""
+        self._cache.clear()
+        for key in state:
+            self._cache[tuple(key)] = True

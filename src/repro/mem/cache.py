@@ -107,6 +107,17 @@ class DataCache:
         """Invalidate everything."""
         self._lines.clear()
 
+    # -- checkpointing ------------------------------------------------------
+    def dump_state(self) -> list:
+        """Picklable snapshot: line keys in LRU order (oldest first)."""
+        return list(self._lines)
+
+    def load_state(self, state: list) -> None:
+        """Restore a :meth:`dump_state` snapshot."""
+        self._lines.clear()
+        for line in state:
+            self._lines[line] = True
+
 
 class Prefetcher:
     """Stream prefetcher: analytic costing of sequential physical runs.

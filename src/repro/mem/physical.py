@@ -231,3 +231,26 @@ class PhysicalMemory:
     def contains_hugepage(self, paddr: int) -> bool:
         """True if *paddr* lies in the hugepage pool region."""
         return paddr >= self._huge_base
+
+    # -- checkpointing ------------------------------------------------------
+    def dump_state(self) -> dict:
+        """Picklable snapshot of the mutable pool state (geometry —
+        total bytes, pool sizes — is reconstructed from the MachineSpec,
+        not stored here)."""
+        return {
+            "cursor": self._cursor,
+            "window": list(self._window),
+            "returned": list(self._returned),
+            "free_huge": list(self._free_huge),
+            "shared": dict(self._shared),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`dump_state` snapshot onto identical geometry."""
+        self._cursor = state["cursor"]
+        self._window = list(state["window"])
+        self._returned = list(state["returned"])
+        self._free_huge = list(state["free_huge"])
+        self._shared = dict(state["shared"])
+        self._rng.bit_generator.state = state["rng_state"]

@@ -144,6 +144,20 @@ class SplitTLB:
         """Number of live entries in the array for *page_size*."""
         return len(self._arrays[page_size])
 
+    # -- checkpointing ------------------------------------------------------
+    def dump_state(self) -> dict:
+        """Picklable snapshot: per-array entry keys in LRU order
+        (oldest first), so a restore reproduces eviction order exactly."""
+        return {size: list(array) for size, array in self._arrays.items()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`dump_state` snapshot."""
+        for size, keys in state.items():
+            array = self._arrays[size]
+            array.clear()
+            for key in keys:
+                array[key] = True
+
     # -- analytic steady-state helpers ------------------------------------
     def analytic_stream_misses(self, nbytes: int, page_size: int) -> int:
         """Misses for a single sequential sweep over *nbytes*: one per

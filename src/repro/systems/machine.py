@@ -218,6 +218,12 @@ class Cluster:
                 self.wires[(i, j)] = connect_hcas(
                     self.nodes[i].hca, self.nodes[j].hca, self.kernel
                 )
+        # weak registration so the hang watchdog can find live clusters
+        # for its post-mortem snapshot (function-local import: checkpoint
+        # builds clusters during restore)
+        from repro.checkpoint import note_cluster
+
+        note_cluster(self)
 
     @property
     def clock(self) -> TickClock:
@@ -225,7 +231,8 @@ class Cluster:
         return self.nodes[0].clock
 
     def aggregate_counters(self) -> Dict[str, int]:
-        """Sum of machine + process + fault counters across the cluster."""
+        """Sum of machine + process + fault counters across the cluster,
+        keyed in sorted order (reports diff cleanly across runs)."""
         total: Dict[str, int] = {}
         for node in self.nodes:
             for name, value in node.counters.snapshot().items():
@@ -236,4 +243,4 @@ class Cluster:
         if self.faults is not None:
             for name, value in self.faults.counters.snapshot().items():
                 total[name] = total.get(name, 0) + value
-        return total
+        return dict(sorted(total.items()))

@@ -67,6 +67,9 @@ class PingPongBenchmark:
 
     def __init__(self, spec_factory: Callable[[], MachineSpec]):
         self.spec_factory = spec_factory
+        #: the cluster of the most recent :meth:`run` (checkpoint/audit
+        #: harnesses read its final tick count and invariants)
+        self.last_cluster: Optional[Cluster] = None
 
     def run(
         self,
@@ -110,6 +113,7 @@ class PingPongBenchmark:
             return None
 
         world.run(program)
+        self.last_cluster = cluster
         clock = cluster.clock
         result = IMBResult(
             machine=spec.name,
@@ -138,6 +142,9 @@ class SendRecvBenchmark:
             raise ValueError("IMB SendRecv reproduction runs on 2 nodes")
         self.spec_factory = spec_factory
         self.n_nodes = n_nodes
+        #: the cluster of the most recent :meth:`run` (checkpoint/audit
+        #: harnesses read its final tick count and invariants)
+        self.last_cluster: Optional[Cluster] = None
 
     def run(
         self,
@@ -182,6 +189,7 @@ class SendRecvBenchmark:
             return None
 
         world.run(program)
+        self.last_cluster = cluster
         clock = cluster.clock
         result = IMBResult(
             machine=spec.name,

@@ -30,6 +30,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from repro.core.library import preload_hugepage_library
+from repro.faults import FaultPlan
 from repro.mpi.api import MPIConfig, MPIWorld
 from repro.systems.machine import Cluster, MachineSpec
 
@@ -75,15 +76,20 @@ def run_nas(
     n_nodes: int = 2,
     lazy_dereg: bool = True,
     nas_hugepage_pool: Optional[int] = None,
+    cluster_sink: Optional[list] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> NASRunResult:
     """Run one NAS kernel program under one placement configuration.
 
     *program* is a kernel module's ``program(comm, klass)``; it must
     return a dict containing at least ``verified`` (bool).
+    *cluster_sink*, when given, receives the finished cluster (the
+    checkpoint/audit harness reads its tick count and invariants; the
+    result dataclass itself stays plain and picklable).
     """
     if nas_hugepage_pool is not None:
         spec = replace(spec, hugepages=nas_hugepage_pool)
-    cluster = Cluster(spec, n_nodes=n_nodes)
+    cluster = Cluster(spec, n_nodes=n_nodes, fault_plan=fault_plan)
     world = MPIWorld(cluster, ppn=ppn, config=MPIConfig(lazy_dereg=lazy_dereg))
 
     def rank_program(comm):
@@ -92,6 +98,8 @@ def run_nas(
         return (yield from program(comm, klass))
 
     results = world.run(rank_program)
+    if cluster_sink is not None:
+        cluster_sink.append(cluster)
     verified = all(r.value.get("verified", False) for r in results)
     counters = cluster.aggregate_counters()
     name = getattr(program, "kernel_name", program.__module__.rsplit(".", 1)[-1])
@@ -155,13 +163,17 @@ def compare_hugepages(
     ppn: int = 4,
     n_nodes: int = 2,
     nas_hugepage_pool: Optional[int] = None,
+    cluster_sink: Optional[list] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> HugepageComparison:
     """Run one kernel twice (small pages, then the preloaded library)
     on fresh identical clusters and decompose the improvement."""
     small = run_nas(program, spec, hugepages=False, klass=klass, ppn=ppn,
-                    n_nodes=n_nodes, nas_hugepage_pool=nas_hugepage_pool)
+                    n_nodes=n_nodes, nas_hugepage_pool=nas_hugepage_pool,
+                    cluster_sink=cluster_sink, fault_plan=fault_plan)
     huge = run_nas(program, spec, hugepages=True, klass=klass, ppn=ppn,
-                   n_nodes=n_nodes, nas_hugepage_pool=nas_hugepage_pool)
+                   n_nodes=n_nodes, nas_hugepage_pool=nas_hugepage_pool,
+                   cluster_sink=cluster_sink, fault_plan=fault_plan)
     if not (small.verified and huge.verified):
         raise RuntimeError(f"{small.kernel}: numerical verification failed")
     return HugepageComparison(

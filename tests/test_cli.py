@@ -71,3 +71,73 @@ class TestCLI:
     def test_tlb_class_w(self, capsys):
         assert main(["tlb", "--class", "W"]) == 0
         assert "TLB misses" in capsys.readouterr().out
+
+
+class TestFaultPlanFiles:
+    def test_json_plan_file_is_accepted(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"link_loss": 0.02, "retry_cnt": 6}')
+        assert main(["faults", "--fault-plan", str(plan),
+                     "--fault-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert f"fault plan: {plan}" in out
+        assert "payload integrity: OK" in out
+
+    def test_malformed_json_file_exits_friendly(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"link_loss": ')
+        with pytest.raises(SystemExit, match="--fault-plan"):
+            main(["faults", "--fault-plan", str(plan)])
+
+    def test_unknown_knob_in_file_exits_friendly(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"link_sloth": 0.5}')
+        with pytest.raises(SystemExit, match="--fault-plan"):
+            main(["faults", "--fault-plan", str(plan)])
+
+    def test_non_object_json_exits_friendly(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('[0.5]')
+        with pytest.raises(SystemExit, match="--fault-plan"):
+            main(["faults", "--fault-plan", str(plan)])
+
+    def test_missing_file_exits_friendly(self, tmp_path):
+        with pytest.raises(SystemExit, match="--fault-plan"):
+            main(["faults", "--fault-plan", str(tmp_path / "absent.json")])
+
+    def test_inline_spec_still_works(self, capsys):
+        assert main(["faults", "--fault-plan", "link_loss=0.02",
+                     "--fault-seed", "7"]) == 0
+        assert "payload integrity: OK" in capsys.readouterr().out
+
+
+class TestCheckpointCLI:
+    def test_faults_checkpoint_then_resume_bit_identical(self, tmp_path, capsys):
+        ckdir = tmp_path / "ck"
+        assert main(["faults", "--fault-plan", "link_loss=0.02",
+                     "--fault-seed", "7", "--checkpoint-every", "0",
+                     "--checkpoint-dir", str(ckdir)]) == 0
+        first = capsys.readouterr().out
+        assert (ckdir / "latest.snap").exists()
+        assert main(["resume", str(ckdir / "latest.snap")]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_fig5_audit_flag(self, capsys):
+        assert main(["fig5", "--audit"]) == 0
+        captured = capsys.readouterr()
+        assert "IMB SendRecv" in captured.out
+        assert "clean" in captured.err
+
+    def test_resume_rejects_garbage(self, tmp_path):
+        bogus = tmp_path / "bogus.snap"
+        bogus.write_text("not a snapshot")
+        with pytest.raises(SystemExit, match="resume"):
+            main(["resume", str(bogus)])
+
+    def test_resume_rejects_forensic_snapshots(self, tmp_path):
+        from repro.checkpoint import write_snapshot
+
+        path = tmp_path / "post.snap"
+        write_snapshot(str(path), {"kind": "cluster", "quiescent": False})
+        with pytest.raises(SystemExit, match="not a run ledger"):
+            main(["resume", str(path)])

@@ -246,6 +246,42 @@ class TestVerbsLevelFaults:
         }
         assert cluster.aggregate_counters()["faults.qp.flushed"] == 1
 
+    def test_flush_cqes_preserve_submission_order(self):
+        """After the drain to SQE, every queued WR flushes in submission
+        order: the retry-exceeded CQE first, then one flush-error CQE
+        per queued WR, wr_ids in the order they were posted."""
+        plan = FaultPlan(link_loss=1.0, retry_cnt=1, ack_timeout_ns=20_000.0)
+        cluster, (a, pa, buf_a, pd_a, qa), _, cqs = _verbs_pair(plan)
+        k = cluster.kernel
+        statuses = []
+
+        def sender():
+            mr = yield from a.hca.register_memory(pa.aspace, pd_a, buf_a, MB)
+            yield from a.hca.post_send(
+                qa, SendWR(wr_id=1, sges=[SGE(buf_a, 1 * KB, mr.lkey)])
+            )
+            wc = yield from a.hca.wait_completion(cqs["sa"])
+            statuses.append((wc.wr_id, wc.status))
+            assert qa.state == "SQE"
+            # three WRs were already queued when the QP left RTS
+            for wr_id in (2, 3, 4):
+                yield qa.wr_slots.request()
+                qa.send_q.put(SendWR(wr_id=wr_id,
+                                     sges=[SGE(buf_a, 1 * KB, mr.lkey)]))
+            for _ in range(3):
+                wc = yield from a.hca.wait_completion(cqs["sa"])
+                statuses.append((wc.wr_id, wc.status))
+
+        k.process(sender())
+        k.run()
+        assert statuses[0] == (1, "transport-retry-exceeded-error")
+        assert statuses[1:] == [
+            (2, "work-request-flushed-error"),
+            (3, "work-request-flushed-error"),
+            (4, "work-request-flushed-error"),
+        ]
+        assert cluster.aggregate_counters()["faults.qp.flushed"] == 3
+
     def test_lossy_send_recovers_by_retransmission(self):
         """Every first transmission drops (then the injector's stream
         runs dry of failures at p<1 eventually): with retry budget the
