@@ -142,3 +142,46 @@ def placement_comparison(
         "2m": breakdown_rdma_message(spec, size, PAGE_2M,
                                      registration_cached=registration_cached),
     }
+
+
+def phase_delta_table(tracer, min_total: int = 0) -> str:
+    """Render a traced run's per-phase counter-delta table.
+
+    *tracer* is a :class:`repro.trace.Tracer` whose run has finished
+    (and been flushed).  Rows are span names plus the
+    ``(unattributed)`` bucket; columns are the counters that moved,
+    widest-moving first, capped at six with the rest summed into an
+    ``(other)`` column.  The column sums equal the run's final
+    aggregate counter totals exactly — the property the trace tests
+    pin — so this table is a faithful decomposition, not a sampling.
+    Counters whose total moved *min_total* or less are folded into
+    ``(other)``.
+    """
+    table = tracer.phase_table()
+    totals = tracer.counter_totals()
+    if not table:
+        return "(no counter deltas traced)"
+    ranked = sorted(totals, key=lambda k: (-abs(totals[k]), k))
+    shown = [k for k in ranked if abs(totals[k]) > min_total][:6]
+    other = [k for k in ranked if k not in shown]
+    header = ["phase"] + shown + (["(other)"] if other else [])
+    rows = []
+    for phase, deltas in table.items():
+        row = [phase] + [str(deltas.get(k, 0)) for k in shown]
+        if other:
+            row.append(str(sum(deltas.get(k, 0) for k in other)))
+        rows.append(row)
+    total_row = ["(total)"] + [str(totals.get(k, 0)) for k in shown]
+    if other:
+        total_row.append(str(sum(totals.get(k, 0) for k in other)))
+    rows.append(total_row)
+    widths = [max(len(header[i]), max(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        ))
+    return "\n".join(lines)

@@ -26,6 +26,13 @@ class CounterSet:
     name set millions of times, and interning makes every later lookup a
     pointer comparison (and cross-set merges cheap) regardless of where
     the name string came from.
+
+    Keys are normalised to exact ``str`` before interning: ``sys.intern``
+    raises TypeError on ``str`` subclasses, and counter names routinely
+    arrive from deserialisers (checkpoint restore, JSON plan files)
+    whose string types are not guaranteed.  Without the normalisation a
+    restored run crashes — or worse, stores a subclass key that compares
+    equal to but is not the interned key an uninterrupted run stores.
     """
 
     __slots__ = ("_counts",)
@@ -37,6 +44,8 @@ class CounterSet:
         """Increment *name* by *amount* (may be negative for corrections)."""
         counts = self._counts
         if name not in counts:
+            if type(name) is not str:
+                name = str(name)
             name = intern(name)
         counts[name] += amount
 
@@ -45,6 +54,8 @@ class CounterSet:
         counts = self._counts
         for name, amount in pairs:
             if name not in counts:
+                if type(name) is not str:
+                    name = str(name)
                 name = intern(name)
             counts[name] += amount
 
@@ -83,9 +94,16 @@ class CounterSet:
         return dict(sorted(self._counts.items()))
 
     def restore(self, mapping: Mapping[str, int]) -> None:
-        """Replace all counters with *mapping* (checkpoint restore)."""
+        """Replace all counters with *mapping* (checkpoint restore).
+
+        Restored keys intern to the same objects an uninterrupted run's
+        :meth:`add` calls produce, so post-restore increments land on
+        the same entries and :meth:`snapshot` is identical either way.
+        """
         self._counts.clear()
         for name, value in mapping.items():
+            if type(name) is not str:
+                name = str(name)
             self._counts[intern(name)] = value
 
     def diff(self, baseline: Mapping[str, int]) -> Dict[str, int]:

@@ -585,9 +585,18 @@ class RunCheckpointer:
         cluster (a single cluster, a list of them, or None) for
         auditing — clusters never enter the ledger.
         """
+        from repro import trace
+
+        tracer = trace.active()
         if name in self.units:
             self._log(f"checkpoint: unit {name!r} restored from snapshot, skipping")
+            if tracer is not None:
+                # replay the unit's trace slice from the ledger so a
+                # resumed run's trace is byte-identical to an
+                # uninterrupted one
+                tracer.replay_unit(self.units[name].get("trace"))
             return self.units[name]["result"]
+        marker = tracer.begin_unit(name) if tracer is not None else None
         result, ticks, cluster = fn()
         clusters = list(cluster) if isinstance(cluster, (list, tuple)) else (
             [cluster] if cluster is not None else [])
@@ -599,6 +608,8 @@ class RunCheckpointer:
             if self.audit:
                 self._log(f"audit: {name}: clean")
         self.units[name] = {"result": result, "ticks": int(ticks)}
+        if tracer is not None:
+            self.units[name]["trace"] = tracer.end_unit(marker)
         if self.enabled:
             self._since_snapshot += int(ticks)
             if self._since_snapshot >= (self.every_ticks or 0):

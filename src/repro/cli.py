@@ -14,6 +14,7 @@
     python -m repro breakdown [--mb 4]   # per-component message costs
     python -m repro faults               # fault-injection demo + report
     python -m repro perf [--quick]       # fast-vs-reference perf harness
+    python -m repro trace fig5 --trace-out t.json   # traced figure run
 
 Each command prints the same rows/series the paper reports.  The heavier
 NAS commands accept ``--class W|B|C`` (the benchmark suite uses C).
@@ -36,6 +37,12 @@ wall-clock watchdog that dumps a post-mortem and exits non-zero if the
 event loop stalls).  ``repro resume <snapshot>`` re-runs a checkpointed
 command, replaying completed units from the snapshot — see
 ``docs/checkpointing.md``.
+
+``fig5``, ``fig6``, ``tlb`` and ``faults`` accept ``--trace`` (print the
+per-phase counter-delta table after the run) and ``--trace-out FILE``
+(write a Chrome/Perfetto ``trace_event`` JSON timeline); ``repro trace
+<fig5|fig6|nas|faults>`` is the shorthand that runs a driver with
+tracing on — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -48,6 +55,31 @@ from typing import List, Optional
 
 KB = 1024
 MB = 1024 * 1024
+
+
+def _ensure_dir(path: str, flag: str) -> None:
+    """Create *path* (with parents) or exit with code 2 and a one-line
+    error — never a traceback — when it cannot be created."""
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        print(f"error: {flag}: cannot create directory {path!r}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _ensure_parent_dir(path: str, flag: str) -> None:
+    """Create *path*'s parent directory and verify *path* is writable,
+    exiting with code 2 on failure (checked before the run starts, so a
+    bad output path cannot waste a long simulation)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "a"):
+            pass
+    except OSError as exc:
+        print(f"error: {flag}: cannot write {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def _cmd_fig3(args) -> None:
@@ -406,7 +438,8 @@ def _cmd_perf(args) -> None:
     from repro.perf import run_perf
 
     code = run_perf(quick=args.quick, out=args.out, compare=args.compare,
-                    only=args.only)
+                    only=args.only, max_slowdown=args.max_slowdown,
+                    trace_overhead=args.trace_overhead)
     if code:
         raise SystemExit(code)
 
@@ -431,7 +464,11 @@ def _cmd_resume(args) -> None:
     if command not in COMMANDS:
         raise SystemExit(f"error: resume: snapshot names unknown command {command!r}")
     sub_args = _build_parser().parse_args(payload["argv"])
-    if sub_args.command != command:
+    # a `repro trace <target>` run checkpoints under its target command
+    resolved = sub_args.command
+    if resolved == "trace":
+        resolved = "fig6" if sub_args.target == "nas" else sub_args.target
+    if resolved != command:
         raise SystemExit("error: resume: snapshot argv does not match its command")
     sub_args._argv = list(payload["argv"])
     sub_args._resume_units = payload["units"]
@@ -439,7 +476,53 @@ def _cmd_resume(args) -> None:
         from repro import fastpath
 
         fastpath.set_enabled(False)
-    COMMANDS[command][0](sub_args)
+    _dispatch(sub_args)
+
+
+def _cmd_trace(args) -> None:
+    """Run a figure driver with tracing on (``repro trace fig5``);
+    ``nas`` is an alias for ``fig6``."""
+    args.command = "fig6" if args.target == "nas" else args.target
+    if args.command == "faults" and args.fault_plan is None:
+        args.fault_plan = "link_loss=0.01"
+    _dispatch(args)
+
+
+def _dispatch(args) -> None:
+    """Dispatch one parsed command: output-path preflight, then the
+    command itself, wrapped in a capturing tracer when ``--trace`` /
+    ``--trace-out`` ask for one.  Shared by :func:`main` and the
+    ``resume`` / ``trace`` re-dispatch paths, so a resumed traced run
+    traces exactly like the original."""
+    fn = COMMANDS[args.command][0]
+    if args.command in ("trace", "resume"):
+        # both re-enter _dispatch themselves with the target command
+        fn(args)
+        return
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    if ckpt_dir:
+        _ensure_dir(ckpt_dir, "--checkpoint-dir")
+    out = getattr(args, "trace_out", None)
+    if not (out or getattr(args, "trace", False)):
+        fn(args)
+        return
+    from repro import trace as trace_mod
+
+    if out:
+        _ensure_parent_dir(out, "--trace-out")
+    tracer = trace_mod.Tracer()
+    with trace_mod.capturing(tracer):
+        fn(args)
+        tracer.flush()
+    if out:
+        tracer.write(out)
+        print(f"trace: wrote {out} ({len(tracer.events)} events)",
+              file=sys.stderr)
+    if getattr(args, "trace", False):
+        from repro.analysis.breakdown import phase_delta_table
+
+        print()
+        print(phase_delta_table(tracer))
 
 
 COMMANDS = {
@@ -456,6 +539,7 @@ COMMANDS = {
     "faults": (_cmd_faults, "fault-injection demo: lossy link + report"),
     "perf": (_cmd_perf, "time fast vs reference paths, track BENCH_PR2.json"),
     "resume": (_cmd_resume, "resume a checkpointed run from a snapshot"),
+    "trace": (_cmd_trace, "run a figure driver with tracing on"),
 }
 
 
@@ -478,7 +562,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments", parents=[common])
     for name, (_fn, help_text) in COMMANDS.items():
         p = sub.add_parser(name, help=help_text, parents=[common])
-        if name in ("fig6", "tlb"):
+        if name == "trace":
+            p.add_argument("target", choices=["fig5", "fig6", "nas", "faults"],
+                           help="the driver to run traced (nas = fig6)")
+            p.add_argument("--trace-out", dest="trace_out",
+                           default="trace.json", metavar="FILE",
+                           help="Chrome trace_event JSON output file "
+                                "(default trace.json)")
+        if name in ("fig6", "tlb", "trace"):
             p.add_argument("--class", dest="klass", default="W",
                            choices=["W", "B", "C"],
                            help="NAS problem class (default W; the paper "
@@ -486,7 +577,7 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "breakdown":
             p.add_argument("--mb", type=float, default=4.0,
                            help="message size in MB")
-        if name in ("fig5", "pingpong", "faults"):
+        if name in ("fig5", "pingpong", "faults", "trace"):
             default_plan = "link_loss=0.01" if name == "faults" else None
             p.add_argument("--fault-plan", dest="fault_plan",
                            default=default_plan, metavar="SPEC",
@@ -495,6 +586,14 @@ def _build_parser() -> argparse.ArgumentParser:
             p.add_argument("--fault-seed", dest="fault_seed", type=int,
                            default=0, help="fault injector RNG seed")
         if name in ("fig5", "fig6", "tlb", "faults"):
+            p.add_argument("--trace", action="store_true",
+                           help="trace the run; print the per-phase "
+                                "counter-delta table after the output")
+            p.add_argument("--trace-out", dest="trace_out", default=None,
+                           metavar="FILE",
+                           help="write the run's Chrome trace_event JSON "
+                                "timeline to FILE (implies tracing)")
+        if name in ("fig5", "fig6", "tlb", "faults", "trace"):
             p.add_argument("--checkpoint-every", dest="checkpoint_every",
                            type=int, default=None, metavar="TICKS",
                            help="snapshot the run ledger every N simulated "
@@ -526,6 +625,16 @@ def _build_parser() -> argparse.ArgumentParser:
             p.add_argument("--only", action="append", default=None,
                            metavar="NAME",
                            help="run only the named benchmark (repeatable)")
+            p.add_argument("--max-slowdown", dest="max_slowdown", type=float,
+                           default=None, metavar="FRACTION",
+                           help="with --compare: also fail if fig5's "
+                                "absolute fast-path time exceeds the "
+                                "baseline's by this fraction (e.g. 0.05; "
+                                "same-machine baselines only)")
+            p.add_argument("--trace-overhead", dest="trace_overhead",
+                           action="store_true",
+                           help="also time fig5 with tracing off vs on and "
+                                "report the enabled-mode overhead")
     return parser
 
 
@@ -544,7 +653,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, (_fn, help_text) in COMMANDS.items():
             print(f"  {name:<14} {help_text}")
         return 0
-    COMMANDS[args.command][0](args)
+    _dispatch(args)
     return 0
 
 

@@ -451,6 +451,22 @@ class SimKernel:
         If a process dies with an unhandled exception and no other process
         is waiting on it, the exception propagates out of ``run()``.
 
+        When a tracer is installed (:mod:`repro.trace`) the whole run is
+        wrapped in one ``engine.run`` span — never the per-event loop,
+        which stays untouched.
+        """
+        from repro import trace
+
+        tracer = trace.active()
+        if tracer is None:
+            return self._run_loop(until)
+        with tracer.span("engine.run", track="kernel",
+                         pending=len(self._queue)):
+            return self._run_loop(until)
+
+    def _run_loop(self, until: Optional[int] = None) -> None:
+        """The actual event loop (see :meth:`run`).
+
         The loop body is :meth:`step` inlined — the per-event bookkeeping
         is the simulator's hottest code, and the method call plus repeated
         attribute loads are measurable at millions of events.

@@ -35,7 +35,7 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Generator, Optional, Set, Tuple
 
-from repro import fastpath
+from repro import fastpath, trace
 from repro.analysis.counters import CounterSet
 from repro.engine.clock import TickClock
 from repro.engine.core import NORMAL, SimKernel
@@ -230,6 +230,15 @@ class HCA:
 
         Use as ``mr = yield from hca.register_memory(...)``.
         """
+        tracer = trace.active()
+        if tracer is None:
+            return (yield from self._register_impl(aspace, pd, vaddr, length))
+        with tracer.span("ib.mr.register", track=self.name, bytes=length):
+            return (yield from self._register_impl(aspace, pd, vaddr, length))
+
+    def _register_impl(
+        self, aspace: AddressSpace, pd: ProtectionDomain, vaddr: int, length: int
+    ) -> Generator:
         mr, ns = self.reg.register(aspace, pd, vaddr, length)
         self._mrs_by_lkey[mr.lkey] = mr
         self._mrs_by_rkey[mr.rkey] = mr
@@ -238,6 +247,14 @@ class HCA:
 
     def deregister_memory(self, aspace: AddressSpace, mr: MemoryRegion) -> Generator:
         """Deregister *mr* (timed)."""
+        tracer = trace.active()
+        if tracer is None:
+            yield from self._deregister_impl(aspace, mr)
+            return
+        with tracer.span("ib.mr.deregister", track=self.name, bytes=mr.length):
+            yield from self._deregister_impl(aspace, mr)
+
+    def _deregister_impl(self, aspace: AddressSpace, mr: MemoryRegion) -> Generator:
         ns = self.reg.deregister(aspace, mr)
         self._mrs_by_lkey.pop(mr.lkey, None)
         self._mrs_by_rkey.pop(mr.rkey, None)
@@ -270,6 +287,15 @@ class HCA:
     def post_send(self, qp: QueuePair, wr: SendWR) -> Generator:
         """Post a send WR: WQE build + doorbell (the paper's near-constant
         'post' cost), then hand off to the adapter."""
+        tracer = trace.active()
+        if tracer is None:
+            yield from self._post_send_impl(qp, wr)
+            return
+        with tracer.span("ib.post_send", track=self.name, opcode=wr.opcode,
+                         bytes=wr.total_bytes, sges=len(wr.sges)):
+            yield from self._post_send_impl(qp, wr)
+
+    def _post_send_impl(self, qp: QueuePair, wr: SendWR) -> Generator:
         if not qp.connected:
             raise IBVerbsError(
                 f"post_send on QP {qp.qp_num} in state {qp.state} "
@@ -332,6 +358,12 @@ class HCA:
         the same LRU state and counters.
         """
         entries = mr.entries_for(addr, nbytes)
+        if not entries:  # zero-byte DMA: no translation walked
+            return 0.0
+        tracer = trace.active()
+        if tracer is not None:
+            tracer.instant("ib.att.range", track=self.name,
+                           entries=len(entries))
         if fastpath.enabled():
             _, misses = self.att.sweep_range(mr.mr_id, entries.start, len(entries))
             return misses * self.att.config.fetch_ns
@@ -342,10 +374,20 @@ class HCA:
         return ns
 
     def _gather_ns(self, wr: SendWR) -> float:
-        """Bus-side cost of gathering all SGEs of *wr* (incl. ATT)."""
+        """Bus-side cost of gathering all SGEs of *wr* (incl. ATT).
+
+        A zero-byte WR launches no data DMA: the message is header-only
+        and its cost floor is the link's per-packet time (see
+        :meth:`repro.ib.link.IBLink.serialization_ns`), identical on the
+        fast and reference costing paths.
+        """
+        if wr.total_bytes == 0:
+            return 0.0
         cfg = self.config
         ns = self.bus.config.dma_setup_ns
         for i, sge in enumerate(wr.sges):
+            if sge.length == 0:
+                continue
             mr = self.lookup_mr(sge.lkey)
             ns += self._att_range_ns(mr, sge.addr, sge.length)
             ns += self.bus.bursts_for(sge.addr, sge.length) * self.bus.config.burst_ns
@@ -359,6 +401,15 @@ class HCA:
         return max(0.0, ns)
 
     def _handle_send(self, qp: QueuePair, wr: SendWR) -> Generator:
+        tracer = trace.active()
+        if tracer is None:
+            yield from self._handle_send_impl(qp, wr)
+            return
+        with tracer.span("ib.tx", track=self.name, opcode=wr.opcode,
+                         bytes=wr.total_bytes, sges=len(wr.sges)):
+            yield from self._handle_send_impl(qp, wr)
+
+    def _handle_send_impl(self, qp: QueuePair, wr: SendWR) -> Generator:
         cfg = self.config
         if not qp.connected:
             # the QP left RTS (SQE/ERROR after retry exhaustion) while
@@ -448,8 +499,10 @@ class HCA:
         faults = self.faults
         if faults is not None:
             # acks and read *requests* are single small packets; the
-            # read data rides in the response
-            if packet.nbytes and packet.kind not in ("ack", "rdma_read"):
+            # read data rides in the response.  packets_for(0) is 1 — a
+            # zero-byte message is still one header-only packet on the
+            # wire, so it sees the same loss/corruption odds everywhere.
+            if packet.kind not in ("ack", "rdma_read"):
                 n_packets = self.link.packets_for(packet.nbytes)
             else:
                 n_packets = 1
@@ -520,6 +573,11 @@ class HCA:
                 return
             attempts += 1
             self.faults.counters.add("faults.qp.retries")
+            tracer = trace.active()
+            if tracer is not None:
+                tracer.instant("ib.qp.retry", track=self.name,
+                               attempt=attempts, kind=packet.kind,
+                               bytes=packet.nbytes)
             self._deliver(
                 wire,
                 packet,
@@ -533,6 +591,10 @@ class HCA:
             return
         _, wr = entry
         self.faults.counters.add("faults.qp.retry_exhausted")
+        tracer = trace.active()
+        if tracer is not None:
+            tracer.instant("ib.qp.abort", track=self.name, status=status,
+                           kind=packet.kind, bytes=packet.nbytes)
         if qp.state == "RTS":
             qp.modify("SQE")
         yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.cqe_write_ns))
@@ -599,6 +661,15 @@ class HCA:
                 self._send_ack(packet, self._rx_seen[packet.seq], wire)
                 return
             self._rx_inflight.add(packet.seq)
+        tracer = trace.active()
+        if tracer is None or packet.kind == "ack":
+            yield from self._receive_dispatch(packet, wire)
+            return
+        with tracer.span("ib.rx", track=self.name, kind=packet.kind,
+                         bytes=packet.nbytes):
+            yield from self._receive_dispatch(packet, wire)
+
+    def _receive_dispatch(self, packet: _Packet, wire: Wire) -> Generator:
         if packet.kind == "ack":
             yield from self._complete_send(packet)
         elif packet.kind == "send":
@@ -634,7 +705,13 @@ class HCA:
         qp.wr_slots.release()
 
     def _scatter_ns(self, sges, payload_bytes: int) -> float:
-        """Bus-side cost of scattering an inbound message."""
+        """Bus-side cost of scattering an inbound message.
+
+        Zero payload bytes scatter nothing (the header-only-message
+        counterpart of :meth:`_gather_ns`).
+        """
+        if payload_bytes == 0:
+            return 0.0
         ns = self.bus.config.dma_setup_ns
         remaining = payload_bytes
         for i, sge in enumerate(sges):

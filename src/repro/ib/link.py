@@ -56,7 +56,14 @@ class IBLink:
         return max(1, (nbytes + self.config.mtu_bytes - 1) // self.config.mtu_bytes)
 
     def serialization_ns(self, nbytes: int) -> float:
-        """Time to clock *nbytes* onto the wire (no latency)."""
+        """Time to clock *nbytes* onto the wire (no latency).
+
+        ``serialization_ns(0) == packet_ns``: a zero-byte send is one
+        header-only packet, never 0 ns — the same floor the ack path
+        (:meth:`ack_ns`) pays.  Every byte count costs at least one
+        packet time, and the cost is the same on the fast and reference
+        costing paths (both call this one function).
+        """
         if nbytes < 0:
             raise ValueError(f"negative byte count {nbytes}")
         cfg = self.config

@@ -74,9 +74,11 @@ class MemoryRegion:
 
     def entries_for(self, addr: int, nbytes: int) -> range:
         """Range of translation-entry indices a DMA of *nbytes* at *addr*
-        walks through."""
-        if nbytes <= 0:
-            raise IBVerbsError("DMA length must be positive")
+        walks through.  A zero-byte DMA walks no entries."""
+        if nbytes < 0:
+            raise IBVerbsError("DMA length must be non-negative")
+        if nbytes == 0:
+            return range(0)
         first = self.entry_index(addr)
         last = self.entry_index(addr + nbytes - 1)
         return range(first, last + 1)
@@ -84,15 +86,21 @@ class MemoryRegion:
 
 @dataclass(frozen=True)
 class SGE:
-    """One scatter/gather element of a work request."""
+    """One scatter/gather element of a work request.
+
+    A zero-length SGE is legal (the IB spec allows zero-byte messages);
+    the message is then header-only on the wire and costs the link's
+    per-packet time, never 0 ns.
+    """
 
     addr: int
     length: int
     lkey: int
 
     def __post_init__(self):
-        if self.length <= 0:
-            raise IBVerbsError(f"SGE length must be positive, got {self.length}")
+        if self.length < 0:
+            raise IBVerbsError(
+                f"SGE length must be non-negative, got {self.length}")
 
 
 @dataclass

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Optional, Sequence, Tuple
 
-from repro import fastpath
+from repro import fastpath, trace
 from repro.analysis.counters import CounterSet
 from repro.engine.clock import TickClock
 from repro.mem.address_space import AddressSpace
@@ -81,8 +81,18 @@ class MemoryAccessEngine:
         self.prefetcher = Prefetcher(cache_config, self.counters)
 
     # -- helpers ------------------------------------------------------------
-    def _finish(self, cost: AccessCost) -> AccessCost:
+    def _finish(self, cost: AccessCost, op: Optional[str] = None,
+                nbytes: int = 0) -> AccessCost:
         cost.ticks = self.clock.ns_to_ticks(cost.ns)
+        # every public access shape funnels through exactly one _finish
+        # call on both the fast and the reference path, so the trace
+        # stream is identical whichever path priced the access
+        if op is not None and trace.active() is not None:
+            trace.instant(
+                f"mem.{op}", track="mem", bytes=nbytes, ticks=cost.ticks,
+                tlb_misses=int(cost.tlb_misses),
+                cache_misses=int(cost.cache_misses),
+            )
         return cost
 
     def _page_size_at(self, vaddr: int) -> int:
@@ -125,7 +135,7 @@ class MemoryAccessEngine:
             else:
                 cost.cache_misses += 1
             cursor += line
-        return self._finish(cost)
+        return self._finish(cost, "touch", nbytes)
 
     def _touch_fast(self, vaddr: int, nbytes: int, write: bool) -> Optional[AccessCost]:
         """Batched :meth:`touch`: TLB pages in one sweep, cache lines in
@@ -170,7 +180,7 @@ class MemoryAccessEngine:
             cursor += n_lines * line
             i = j + 1
         cost.ns = ns
-        return self._finish(cost)
+        return self._finish(cost, "touch", nbytes)
 
     # -- streaming -------------------------------------------------------------
     def stream(self, vaddr: int, nbytes: int, write: bool = False) -> AccessCost:
@@ -208,7 +218,7 @@ class MemoryAccessEngine:
         restart_lines = min(n_lines, restarts * self.cache.config.stream_restart_lines)
         cost.cache_misses += restart_lines
         cost.prefetched_lines += n_lines - restart_lines
-        return self._finish(cost)
+        return self._finish(cost, "stream", nbytes)
 
     def _stream_fast(self, vaddr: int, nbytes: int) -> Optional[AccessCost]:
         """Batched :meth:`stream`: one TLB sweep, restarts read from the
@@ -233,7 +243,7 @@ class MemoryAccessEngine:
         restart_lines = min(n_lines, restarts * self.cache.config.stream_restart_lines)
         cost.cache_misses = restart_lines
         cost.prefetched_lines = n_lines - restart_lines
-        return self._finish(cost)
+        return self._finish(cost, "stream", nbytes)
 
     def copy(self, src: int, dst: int, nbytes: int) -> AccessCost:
         """A memcpy: stream-read the source and stream-write the target."""
@@ -282,7 +292,7 @@ class MemoryAccessEngine:
         )
         cost.cache_misses += switches * restart_lines
         cost.prefetched_lines += switches * (lines_per_burst - restart_lines)
-        return self._finish(cost)
+        return self._finish(cost, "rotate", switches * burst_bytes)
 
     # -- power-of-two strided access -------------------------------------------
     def strided(
@@ -327,7 +337,7 @@ class MemoryAccessEngine:
             cost.ns += n_accesses * self.cache.config.prefetch_hit_ns * 1.5
             cost.cache_misses += n_accesses // 2
             self.counters.add("cache.miss", n_accesses // 2)
-        return self._finish(cost)
+        return self._finish(cost, "strided", region_bytes)
 
     # -- random access ----------------------------------------------------------
     def random(self, vaddr: int, region_bytes: int, n_accesses: int) -> AccessCost:
@@ -351,4 +361,4 @@ class MemoryAccessEngine:
         cost.ns += n_accesses * self.cache.config.miss_ns
         cost.cache_misses += n_accesses
         self.counters.add("cache.miss", n_accesses)
-        return self._finish(cost)
+        return self._finish(cost, "random", region_bytes)

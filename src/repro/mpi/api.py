@@ -117,6 +117,7 @@ class Endpoint:
             enabled=config.lazy_dereg,
             capacity_bytes=config.regcache_capacity,
             counters=proc.counters,
+            owner=f"rank{rank}",
         )
         proc.aspace.unmap_hooks.append(self.regcache.invalidate_range)
         self._wr_ids = itertools.count(1)
@@ -166,6 +167,17 @@ class Endpoint:
     def setup(self) -> Generator:
         """Allocate and register bounce buffers, pre-post receives, start
         progress engines.  Timed (runs before the profiled window)."""
+        from repro import trace
+
+        tracer = trace.active()
+        if tracer is None:
+            yield from self._setup_impl()
+            return
+        with tracer.span("mpi.setup", track=f"rank{self.rank}.tx",
+                         rank=self.rank):
+            yield from self._setup_impl()
+
+    def _setup_impl(self) -> Generator:
         cfg = self.config
         n_qps = max(1, len(self.qps))
         n_recv_bufs = cfg.prepost_depth * n_qps

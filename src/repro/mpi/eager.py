@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+from repro import trace
 from repro.faults import MPITransportError
 from repro.ib.verbs import SGE, SendWR
 
@@ -22,6 +23,17 @@ from repro.ib.verbs import SGE, SendWR
 def eager_send(endpoint, dest: int, tag: int, size: int, addr: Optional[int],
                payload: Any) -> Generator:
     """Send one eager message (size must fit a bounce buffer)."""
+    tracer = trace.active()
+    if tracer is None:
+        yield from _eager_send_impl(endpoint, dest, tag, size, addr, payload)
+        return
+    with tracer.span("mpi.eager.send", track=f"rank{endpoint.rank}.tx",
+                     dest=dest, bytes=size):
+        yield from _eager_send_impl(endpoint, dest, tag, size, addr, payload)
+
+
+def _eager_send_impl(endpoint, dest: int, tag: int, size: int,
+                     addr: Optional[int], payload: Any) -> Generator:
     env = endpoint.make_envelope("eager", dest, tag, size, payload=payload)
     yield from send_through_bounce(endpoint, dest, env, size, addr)
 
@@ -38,9 +50,12 @@ def send_through_bounce(endpoint, dest: int, env, wire_bytes: int,
         qp = endpoint.qp_for(dest)
         wr_id = endpoint.next_wr_id()
         done = endpoint.expect_send_completion(wr_id)
+        # zero-byte messages ride a zero-length SGE: the wire then costs
+        # exactly one header-only packet (serialization_ns(0)), not the
+        # one-byte cost max(1, wire_bytes) used to smuggle in here
         wr = SendWR(
             wr_id=wr_id,
-            sges=[SGE(buf_addr, max(1, wire_bytes), mr.lkey)],
+            sges=[SGE(buf_addr, wire_bytes, mr.lkey)],
             payload=env,
         )
         yield from endpoint.hca.post_send(qp, wr)
@@ -63,6 +78,21 @@ def send_ctrl(endpoint, dest: int, env) -> Generator:
 def copy_rendezvous_send(endpoint, dest: int, tag: int, size: int,
                          addr: Optional[int], payload: Any) -> Generator:
     """RTS/CTS handshake, then the payload chunked through bounce bufs."""
+    tracer = trace.active()
+    if tracer is None:
+        yield from _copy_rendezvous_send_impl(
+            endpoint, dest, tag, size, addr, payload
+        )
+        return
+    with tracer.span("mpi.rndv.copy.send", track=f"rank{endpoint.rank}.tx",
+                     dest=dest, bytes=size):
+        yield from _copy_rendezvous_send_impl(
+            endpoint, dest, tag, size, addr, payload
+        )
+
+
+def _copy_rendezvous_send_impl(endpoint, dest: int, tag: int, size: int,
+                               addr: Optional[int], payload: Any) -> Generator:
     rndv = endpoint.next_rndv_id()
     rts = endpoint.make_envelope("rts", dest, tag, size, rndv=rndv)
     yield from send_ctrl(endpoint, dest, rts)
@@ -83,6 +113,15 @@ def copy_rendezvous_send(endpoint, dest: int, tag: int, size: int,
 
 def copy_rendezvous_recv(endpoint, env, addr: Optional[int]) -> Generator:
     """Receiver half of the copy rendezvous; returns the payload."""
+    tracer = trace.active()
+    if tracer is None:
+        return (yield from _copy_rendezvous_recv_impl(endpoint, env, addr))
+    with tracer.span("mpi.rndv.copy.recv", track=f"rank{endpoint.rank}.rx",
+                     src=env.src, bytes=env.size):
+        return (yield from _copy_rendezvous_recv_impl(endpoint, env, addr))
+
+
+def _copy_rendezvous_recv_impl(endpoint, env, addr: Optional[int]) -> Generator:
     cts = endpoint.make_envelope("cts", env.src, env.tag, env.size, rndv=env.rndv)
     yield from send_ctrl(endpoint, env.src, cts)
     remaining = env.size
@@ -105,6 +144,15 @@ def copy_rendezvous_recv(endpoint, env, addr: Optional[int]) -> Generator:
 
 def eager_recv_copy_out(endpoint, env, addr: Optional[int]) -> Generator:
     """Charge the receiver-side copy from the bounce to the user buffer."""
+    tracer = trace.active()
+    if tracer is None:
+        return (yield from _eager_recv_copy_out_impl(endpoint, env, addr))
+    with tracer.span("mpi.eager.recv", track=f"rank{endpoint.rank}.rx",
+                     src=env.src, bytes=env.size):
+        return (yield from _eager_recv_copy_out_impl(endpoint, env, addr))
+
+
+def _eager_recv_copy_out_impl(endpoint, env, addr: Optional[int]) -> Generator:
     if addr is not None and env.size > 0:
         cost = endpoint.proc.engine.stream(addr, env.size, write=True)
         yield endpoint.kernel.timeout(cost.ticks)

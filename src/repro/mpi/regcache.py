@@ -15,8 +15,9 @@ cache entry (the classic MVAPICH malloc-hook dance).
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional
 
+from repro import trace
 from repro.analysis.counters import CounterSet
 from repro.faults import PermanentRegistrationError, TransientRegistrationError
 from repro.ib.hca import HCA
@@ -46,6 +47,7 @@ class RegistrationCache:
         enabled: bool = True,
         capacity_bytes: Optional[int] = None,
         counters: Optional[CounterSet] = None,
+        owner: Optional[str] = None,
     ):
         self.hca = hca
         self.aspace = aspace
@@ -53,7 +55,13 @@ class RegistrationCache:
         self.enabled = enabled
         self.capacity_bytes = capacity_bytes
         self.counters = counters if counters is not None else CounterSet()
+        self.owner = owner if owner is not None else "regcache"
         self._entries: List[MemoryRegion] = []  # MRU order, newest last
+        #: mr_id -> count of in-flight transfers holding the MR (acquired
+        #: but not yet released).  Pinned entries are never capacity
+        #: victims: evicting an MR under an active rendezvous would
+        #: deregister translations the adapter is still DMAing through.
+        self._pins: Dict[int, int] = {}
         self.hits = 0
         self.misses = 0
 
@@ -72,6 +80,20 @@ class RegistrationCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _pin(self, mr: MemoryRegion) -> None:
+        self._pins[mr.mr_id] = self._pins.get(mr.mr_id, 0) + 1
+
+    def _unpin(self, mr: MemoryRegion) -> None:
+        count = self._pins.get(mr.mr_id, 0)
+        if count <= 1:
+            self._pins.pop(mr.mr_id, None)
+        else:
+            self._pins[mr.mr_id] = count - 1
+
+    def pinned(self, mr: MemoryRegion) -> bool:
+        """True while *mr* is held by an unreleased :meth:`acquire`."""
+        return self._pins.get(mr.mr_id, 0) > 0
+
     # -- acquisition ------------------------------------------------------------
     def acquire(self, vaddr: int, length: int) -> Generator:
         """Get a registration covering ``[vaddr, vaddr+length)``.
@@ -85,13 +107,18 @@ class RegistrationCache:
             if mr is not None:
                 self.hits += 1
                 self.counters.add("regcache.hit")
+                trace.instant("mpi.regcache.hit", track=self.owner,
+                              bytes=length)
                 # MRU touch
                 self._entries.remove(mr)
                 self._entries.append(mr)
+                self._pin(mr)
                 return mr
         self.misses += 1
         self.counters.add("regcache.miss")
+        trace.instant("mpi.regcache.miss", track=self.owner, bytes=length)
         mr = yield from self.register_with_retry(vaddr, length)
+        self._pin(mr)
         if self.enabled:
             self._entries.append(mr)
             yield from self._evict_to_capacity()
@@ -129,8 +156,9 @@ class RegistrationCache:
                 )
 
     def release(self, mr: MemoryRegion) -> Generator:
-        """Finish using *mr*: a no-op when caching, an immediate (timed)
-        deregistration otherwise."""
+        """Finish using *mr*: unpins it, then is a no-op when caching or
+        an immediate (timed) deregistration otherwise."""
+        self._unpin(mr)
         if self.enabled:
             return
             yield  # pragma: no cover - make this a generator
@@ -139,9 +167,20 @@ class RegistrationCache:
     def _evict_to_capacity(self) -> Generator:
         if self.capacity_bytes is None:
             return
-        while self.cached_bytes > self.capacity_bytes and len(self._entries) > 1:
-            victim = self._entries.pop(0)  # LRU
+        # LRU walk from the cold end, skipping pinned entries (an MR an
+        # in-flight transfer still holds) and never evicting the newest
+        # entry (the acquisition that triggered the pass)
+        idx = 0
+        while (self.cached_bytes > self.capacity_bytes
+               and idx < len(self._entries) - 1):
+            victim = self._entries[idx]
+            if self.pinned(victim):
+                idx += 1
+                continue
+            self._entries.pop(idx)
             self.counters.add("regcache.evict")
+            trace.instant("mpi.regcache.evict", track=self.owner,
+                          bytes=victim.length)
             yield from self.hca.deregister_memory(self.aspace, victim)
 
     # -- invalidation -----------------------------------------------------------

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from repro import trace
 from repro.faults import MPITransportError
 from repro.ib.verbs import SGE, SendWR
 from repro.mpi.eager import send_ctrl
@@ -43,6 +44,21 @@ def rdma_rendezvous_send(endpoint, dest: int, tag: int, size: int,
     buffer — the RDMA path cannot send from nowhere."""
     if addr is None:
         raise ValueError("RDMA rendezvous requires a source buffer address")
+    tracer = trace.active()
+    if tracer is None:
+        yield from _rdma_rendezvous_send_impl(
+            endpoint, dest, tag, size, addr, payload
+        )
+        return
+    with tracer.span("mpi.rndv.write.send", track=f"rank{endpoint.rank}.tx",
+                     dest=dest, bytes=size):
+        yield from _rdma_rendezvous_send_impl(
+            endpoint, dest, tag, size, addr, payload
+        )
+
+
+def _rdma_rendezvous_send_impl(endpoint, dest: int, tag: int, size: int,
+                               addr: int, payload: Any) -> Generator:
     rndv = endpoint.next_rndv_id()
     rts = endpoint.make_envelope("rts", dest, tag, size, rndv=rndv)
     yield from send_ctrl(endpoint, dest, rts)
@@ -82,6 +98,15 @@ def rdma_rendezvous_recv(endpoint, env, addr: int) -> Generator:
             "RDMA rendezvous requires a receive buffer address "
             f"(recv of {env.size} bytes from rank {env.src})"
         )
+    tracer = trace.active()
+    if tracer is None:
+        return (yield from _rdma_rendezvous_recv_impl(endpoint, env, addr))
+    with tracer.span("mpi.rndv.write.recv", track=f"rank{endpoint.rank}.rx",
+                     src=env.src, bytes=env.size):
+        return (yield from _rdma_rendezvous_recv_impl(endpoint, env, addr))
+
+
+def _rdma_rendezvous_recv_impl(endpoint, env, addr: int) -> Generator:
     mr = yield from endpoint.regcache.acquire(addr, env.size)
     cts = endpoint.make_envelope(
         "cts", env.src, env.tag, env.size, rndv=env.rndv,
@@ -100,6 +125,21 @@ def rdma_read_rendezvous_send(endpoint, dest: int, tag: int, size: int,
     it in the RTS, wait for the receiver's FIN."""
     if addr is None:
         raise ValueError("RDMA rendezvous requires a source buffer address")
+    tracer = trace.active()
+    if tracer is None:
+        yield from _rdma_read_rendezvous_send_impl(
+            endpoint, dest, tag, size, addr, payload
+        )
+        return
+    with tracer.span("mpi.rndv.read.send", track=f"rank{endpoint.rank}.tx",
+                     dest=dest, bytes=size):
+        yield from _rdma_read_rendezvous_send_impl(
+            endpoint, dest, tag, size, addr, payload
+        )
+
+
+def _rdma_read_rendezvous_send_impl(endpoint, dest: int, tag: int, size: int,
+                                    addr: int, payload: Any) -> Generator:
     rndv = endpoint.next_rndv_id()
     mr = yield from endpoint.regcache.acquire(addr, size)
     endpoint.hca.rdma_exposed[(mr.rkey, addr)] = payload
@@ -118,6 +158,15 @@ def rdma_read_rendezvous_recv(endpoint, env, addr: int) -> Generator:
             "RDMA rendezvous requires a receive buffer address "
             f"(recv of {env.size} bytes from rank {env.src})"
         )
+    tracer = trace.active()
+    if tracer is None:
+        return (yield from _rdma_read_rendezvous_recv_impl(endpoint, env, addr))
+    with tracer.span("mpi.rndv.read.recv", track=f"rank{endpoint.rank}.rx",
+                     src=env.src, bytes=env.size):
+        return (yield from _rdma_read_rendezvous_recv_impl(endpoint, env, addr))
+
+
+def _rdma_read_rendezvous_recv_impl(endpoint, env, addr: int) -> Generator:
     mr = yield from endpoint.regcache.acquire(addr, env.size)
     qp = endpoint.qp_for(env.src)
     wr_id = endpoint.next_wr_id()

@@ -268,12 +268,50 @@ def write_results(path: str, mode: str, results: Dict[str, dict]) -> None:
         fh.write("\n")
 
 
+def measure_trace_overhead(quick: bool = True, repeats: int = 3) -> Dict[str, float]:
+    """Time the fig5 sweep with tracing disabled vs enabled.
+
+    ``off_s`` is the default mode every figure command runs in: the
+    instrumentation sites pay one module-global read plus a None check
+    (see ``repro.trace``).  ``on_s`` carries the full span/counter
+    sampling cost.  Returns best-of-*repeats* seconds for each plus the
+    enabled-mode ``overhead`` fraction (``on_s / off_s - 1``).
+    """
+    from repro import trace
+
+    spec = next(s for s in BENCHMARKS if s.name == "fig5")
+
+    def best(traced: bool) -> float:
+        out = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            if traced:
+                with trace.capturing(trace.Tracer()) as tracer:
+                    spec.run(quick)
+                    tracer.flush()
+            else:
+                spec.run(quick)
+            out = min(out, time.perf_counter() - start)
+        return out
+
+    _prime()
+    off_s = best(False)
+    on_s = best(True)
+    return {"off_s": round(off_s, 4), "on_s": round(on_s, 4),
+            "overhead": round(on_s / off_s - 1.0, 4) if off_s else 0.0}
+
+
 def compare_results(baseline_path: str, mode: str,
-                    results: Dict[str, dict]) -> List[str]:
+                    results: Dict[str, dict],
+                    max_slowdown: Optional[float] = None) -> List[str]:
     """Regression check against a committed baseline; returns failures.
 
-    Only speedup *ratios* are compared (same-machine fast vs ref), never
-    absolute seconds, so the check holds across hardware.
+    By default only speedup *ratios* are compared (same-machine fast vs
+    ref), never absolute seconds, so the check holds across hardware.
+    ``max_slowdown`` additionally bounds fig5's absolute ``fast_s``
+    against the baseline's (e.g. 0.05 = fail past a 5 % slowdown) —
+    only meaningful when baseline and current run share a machine
+    class, which is why it is opt-in.
     """
     failures: List[str] = []
     try:
@@ -296,20 +334,36 @@ def compare_results(baseline_path: str, mode: str,
                 f"{(1 - REGRESSION_TOLERANCE) * 100:.0f}% vs baseline "
                 f"{ref['speedup']:.2f}x (floor {floor:.2f}x)"
             )
+        if max_slowdown is not None:
+            ceiling = (1.0 + max_slowdown) * ref["fast_s"]
+            if cur["fast_s"] > ceiling:
+                failures.append(
+                    f"{name}: fast path {cur['fast_s']:.3f}s exceeds "
+                    f"baseline {ref['fast_s']:.3f}s by more than "
+                    f"{max_slowdown * 100:.0f}% (ceiling {ceiling:.3f}s)"
+                )
     return failures
 
 
 def run_perf(quick: bool = False, out: str = "BENCH_PR2.json",
              compare: Optional[str] = None,
-             only: Optional[List[str]] = None) -> int:
+             only: Optional[List[str]] = None,
+             max_slowdown: Optional[float] = None,
+             trace_overhead: bool = False) -> int:
     """The ``repro perf`` entry point; returns a process exit code."""
     mode = "quick" if quick else "full"
+    if trace_overhead:
+        oh = measure_trace_overhead(quick=quick)
+        print(f"fig5 trace overhead: off={oh['off_s']:.3f}s "
+              f"on={oh['on_s']:.3f}s (+{oh['overhead'] * 100:.1f}% when "
+              f"tracing is enabled; disabled mode pays only the None check)")
     results = run_benchmarks(quick=quick, only=only)
     print(render_results(mode, results))
     failures = [f"{name}: fast and reference paths diverged"
                 for name, r in results.items() if not r["identical"]]
     if compare:
-        failures += compare_results(compare, mode, results)
+        failures += compare_results(compare, mode, results,
+                                    max_slowdown=max_slowdown)
     if out:
         write_results(out, mode, results)
         print(f"\nresults written to {out} (mode: {mode})")

@@ -224,6 +224,11 @@ class Cluster:
         from repro.checkpoint import note_cluster
 
         note_cluster(self)
+        # re-key the installed tracer (if any) to this cluster's clock
+        # and counters; a no-op when tracing is disabled
+        from repro import trace
+
+        trace.attach_cluster(self)
 
     @property
     def clock(self) -> TickClock:

@@ -395,3 +395,60 @@ class TestHangWatchdog:
         with dog:  # no active kernel the whole time
             time.sleep(0.5)
         assert not dog.fired and not fired
+
+
+class TestCounterSetRestore:
+    """CounterSet keys must survive the checkpoint round trip even when
+    the deserialiser hands back ``str`` subclasses: ``sys.intern``
+    raises TypeError on those, so an un-normalised restore (or the
+    first post-restore increment with a subclass key) crashed a resumed
+    run that an uninterrupted run completed fine."""
+
+    class StrSub(str):
+        pass
+
+    def test_add_accepts_str_subclass_keys(self):
+        from repro.analysis.counters import CounterSet
+
+        cs = CounterSet()
+        cs.add(self.StrSub("tlb.4k.miss"))  # raised TypeError before
+        cs.add("tlb.4k.miss", 2)
+        assert cs["tlb.4k.miss"] == 3
+        # the stored key is the interned plain str, not the subclass
+        (key,) = [k for k, _ in cs]
+        assert type(key) is str
+
+    def test_add_many_accepts_str_subclass_keys(self):
+        from repro.analysis.counters import CounterSet
+
+        cs = CounterSet()
+        cs.add_many([(self.StrSub("att.miss"), 5), ("att.miss", 1)])
+        assert cs["att.miss"] == 6
+
+    def test_restore_accepts_str_subclass_keys(self):
+        from repro.analysis.counters import CounterSet
+
+        cs = CounterSet()
+        cs.restore({self.StrSub("hca.tx_bytes"): 42})
+        assert cs["hca.tx_bytes"] == 42
+        (key,) = [k for k, _ in cs]
+        assert type(key) is str
+
+    def test_restored_set_matches_uninterrupted_run(self):
+        """Increments applied after a restore must land on the same
+        entries an uninterrupted run produces — snapshots identical."""
+        from repro.analysis.counters import CounterSet
+
+        uninterrupted = CounterSet()
+        for name, n in [("a.x", 1), ("b.y", 2), ("a.x", 3)]:
+            uninterrupted.add(name, n)
+
+        resumed = CounterSet()
+        resumed.add("a.x", 1)
+        snap = resumed.snapshot()
+        # round-trip through a deserialiser that yields str subclasses
+        resumed2 = CounterSet()
+        resumed2.restore({self.StrSub(k): v for k, v in snap.items()})
+        resumed2.add_many([(self.StrSub("b.y"), 2), ("a.x", 3)])
+
+        assert resumed2.snapshot() == uninterrupted.snapshot()

@@ -141,3 +141,80 @@ class TestCheckpointCLI:
         write_snapshot(str(path), {"kind": "cluster", "quiescent": False})
         with pytest.raises(SystemExit, match="not a run ledger"):
             main(["resume", str(path)])
+
+
+class TestTraceCLI:
+    def _load_trace(self, path):
+        import json
+
+        with open(path) as fh:
+            return json.load(fh)
+
+    def test_trace_command_writes_valid_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", "fig5", "--trace-out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "IMB SendRecv" in captured.out
+        assert f"trace: wrote {out}" in captured.err
+        doc = self._load_trace(out)
+        assert doc["traceEvents"]
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "i", "M")
+        # attributed deltas sum exactly to the run's counter totals
+        totals = doc["otherData"]["counter_totals"]
+        summed = {}
+        for ev in doc["traceEvents"]:
+            for k, v in ev.get("args", {}).get("counters", {}).items():
+                summed[k] = summed.get(k, 0) + v
+        assert summed == totals
+
+    def test_trace_flag_prints_phase_table(self, capsys):
+        assert main(["fig5", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "(total)" in out and "phase" in out
+
+    def test_trace_out_creates_parent_dirs(self, tmp_path):
+        out = tmp_path / "a" / "b" / "t.json"
+        assert main(["trace", "fig5", "--trace-out", str(out)]) == 0
+        assert out.exists()
+
+    def test_checkpoint_dir_is_created(self, tmp_path):
+        ckdir = tmp_path / "deep" / "ck"
+        assert main(["faults", "--checkpoint-every", "0",
+                     "--checkpoint-dir", str(ckdir)]) == 0
+        assert (ckdir / "latest.snap").exists()
+
+    def test_unwritable_trace_out_exits_2(self, tmp_path, capsys):
+        # a regular file as a parent path component is unwritable even
+        # for root (NotADirectoryError), unlike mode-0 dirs
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        bad = blocker / "sub" / "t.json"
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "fig5", "--trace-out", str(bad)])
+        assert exc.value.code == 2
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_unwritable_checkpoint_dir_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        bad = blocker / "sub" / "ck"
+        with pytest.raises(SystemExit) as exc:
+            main(["fig5", "--checkpoint-every", "0",
+                  "--checkpoint-dir", str(bad)])
+        assert exc.value.code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_traced_run_resumes_byte_identical(self, tmp_path, capsys):
+        ckdir = tmp_path / "ck"
+        out = tmp_path / "t.json"
+        assert main(["trace", "faults", "--trace-out", str(out),
+                     "--fault-seed", "7", "--checkpoint-every", "0",
+                     "--checkpoint-dir", str(ckdir)]) == 0
+        first_stdout = capsys.readouterr().out
+        first_trace = out.read_bytes()
+        # resume replays the snapshot's own argv, rewriting the same
+        # trace file: both it and stdout must come out byte-identical
+        assert main(["resume", str(ckdir / "latest.snap")]) == 0
+        assert capsys.readouterr().out == first_stdout
+        assert out.read_bytes() == first_trace

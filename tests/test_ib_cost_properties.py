@@ -106,6 +106,91 @@ class TestLinkCostProperties:
         assert packets >= 1
         assert (packets - 1) * 2048 < max(1, nbytes) <= packets * 2048 or nbytes == 0
 
+    def test_zero_byte_send_is_one_header_packet(self):
+        """A 0-byte send is a legal IB message: exactly one header-only
+        packet, costing ``packet_ns`` on the wire — never 0 ns, and
+        never a full byte's serialization smuggled in by a
+        ``max(1, n)`` somewhere up the stack."""
+        link = IBLink(LinkConfig())
+        assert link.packets_for(0) == 1
+        assert link.serialization_ns(0) == link.config.packet_ns
+        assert link.transfer_ns(0) == \
+            link.config.latency_ns + link.config.packet_ns
+        # the same floor the RC ack pays
+        assert link.transfer_ns(0) == link.ack_ns()
+
+    @given(nbytes=st.integers(min_value=1, max_value=1 << 25))
+    @settings(max_examples=100, deadline=None)
+    def test_zero_is_the_serialization_floor(self, nbytes):
+        """serialization_ns(0) lower-bounds every payload size (strictly:
+        any payload adds at least its byte time)."""
+        link = IBLink(LinkConfig())
+        assert link.serialization_ns(0) < link.serialization_ns(nbytes)
+
+    @given(nbytes=st.integers(min_value=0, max_value=1 << 25))
+    @settings(max_examples=100, deadline=None)
+    def test_serialization_has_per_packet_floor(self, nbytes):
+        link = IBLink(LinkConfig())
+        assert link.serialization_ns(nbytes) >= \
+            link.packets_for(nbytes) * link.config.packet_ns
+
+    def test_negative_byte_count_rejected(self):
+        link = IBLink(LinkConfig())
+        with pytest.raises(ValueError):
+            link.packets_for(-1)
+        with pytest.raises(ValueError):
+            link.serialization_ns(-1)
+
+
+class TestZeroByteMessageEndToEnd:
+    """A 0-byte eager send must cost exactly the link's header-only
+    packet on the wire and move zero payload bytes — identically on the
+    fast and reference costing paths (the regression: a ``max(1,
+    wire_bytes)`` SGE sizing charged every 0-byte send as 1 byte)."""
+
+    def _run(self, send_bytes=None):
+        from repro.mpi import MPIConfig, MPIWorld
+        from repro.systems import Cluster, presets
+
+        cluster = Cluster(presets.opteron_infinihost_pcie(), 2)
+        world = MPIWorld(cluster, ppn=1, config=MPIConfig())
+
+        def program(comm):
+            if send_bytes is None:
+                return
+                yield  # noqa: unreachable — makes this a generator
+            other = 1 - comm.rank
+            if comm.rank == 0:
+                t0 = comm.kernel.now
+                yield from comm.send(other, 7, send_bytes, payload="empty")
+                return comm.kernel.now - t0
+            payload, size, _, _ = yield from comm.recv(0, 7)
+            return (payload, size)
+
+        results = world.run(program)
+        counters = cluster.aggregate_counters()
+        return results, counters
+
+    def test_zero_byte_send_delivers_and_moves_no_payload(self):
+        results, counters = self._run(send_bytes=0)
+        assert results[1].value == ("empty", 0)
+        # relative to a run that only does the implicit world barriers,
+        # the 0-byte message added no payload bytes on the wire
+        _, baseline = self._run(send_bytes=None)
+        assert counters.get("hca.tx_bytes", 0) == \
+            baseline.get("hca.tx_bytes", 0)
+        assert counters.get("hca.rx_bytes", 0) == \
+            baseline.get("hca.rx_bytes", 0)
+
+    def test_zero_byte_send_identical_without_fastpath(self):
+        from repro import fastpath
+
+        fast = self._run(send_bytes=0)
+        with fastpath.forced(False):
+            slow = self._run(send_bytes=0)
+        assert fast[0][0].value == slow[0][0].value  # same ticks
+        assert fast[1] == slow[1]  # same counters
+
 
 class TestRegistrationCostProperties:
     @given(

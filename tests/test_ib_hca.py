@@ -169,8 +169,11 @@ class TestValidation:
     def test_wr_needs_sges(self):
         with pytest.raises(IBVerbsError):
             SendWR(wr_id=1, sges=[])
+        # zero-length SGEs are legal (the IB spec allows zero-byte
+        # messages: header-only on the wire); negative lengths are not
+        assert SGE(addr=0, length=0, lkey=1).length == 0
         with pytest.raises(IBVerbsError):
-            SGE(addr=0, length=0, lkey=1)
+            SGE(addr=0, length=-1, lkey=1)
         with pytest.raises(IBVerbsError):
             SendWR(wr_id=1, sges=[SGE(0, 8, 1)], opcode="atomic_cas")
 

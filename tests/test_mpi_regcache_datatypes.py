@@ -86,11 +86,59 @@ class TestRegistrationCache:
         bufs = [proc.aspace.mmap(MB).start for _ in range(3)]
 
         def scenario():
+            # release each MR before the next acquire: only idle
+            # (unpinned) entries are eviction candidates
             for b in bufs:
-                yield from cache.acquire(b, MB)
+                mr = yield from cache.acquire(b, MB)
+                yield from cache.release(mr)
 
         drive(kernel, scenario())
         assert cache.cached_bytes <= 2 * MB
+        assert cache.counters["regcache.evict"] == 1
+
+    def test_eviction_skips_pinned_inflight_mr(self):
+        """Capacity eviction must never evict an MR a transfer still
+        holds (acquired, not yet released): deregistering it would pull
+        the adapter's translations out from under an in-flight DMA.
+        The LRU entry here is pinned, so the *next*-coldest unpinned
+        entry must be the victim instead."""
+        kernel, proc, cache = make_cache(capacity=2 * MB)
+        buf_a, buf_b, buf_c = [proc.aspace.mmap(MB).start for _ in range(3)]
+
+        def scenario():
+            # A: acquired and *held* (an in-flight rendezvous), LRU slot
+            mr_a = yield from cache.acquire(buf_a, MB)
+            # B: acquired and released — idle, the legal victim
+            mr_b = yield from cache.acquire(buf_b, MB)
+            yield from cache.release(mr_b)
+            # C: pushes the cache over capacity
+            yield from cache.acquire(buf_c, MB)
+            return mr_a
+
+        mr_a = drive(kernel, scenario())
+        assert cache.counters["regcache.evict"] == 1
+        # A (pinned, though LRU) survived; B was evicted
+        assert mr_a in cache._entries
+        assert cache._find(buf_a, MB) is mr_a
+        assert cache._find(buf_b, MB) is None
+        assert mr_a.registered
+
+    def test_release_unpins_for_future_eviction(self):
+        """Once released, a formerly pinned MR is an ordinary eviction
+        candidate again."""
+        kernel, proc, cache = make_cache(capacity=2 * MB)
+        buf_a, buf_b, buf_c = [proc.aspace.mmap(MB).start for _ in range(3)]
+
+        def scenario():
+            mr_a = yield from cache.acquire(buf_a, MB)
+            yield from cache.release(mr_a)
+            mr_b = yield from cache.acquire(buf_b, MB)
+            yield from cache.release(mr_b)
+            yield from cache.acquire(buf_c, MB)
+
+        drive(kernel, scenario())
+        # A was LRU and unpinned: evicted normally
+        assert cache._find(buf_a, MB) is None
         assert cache.counters["regcache.evict"] == 1
 
     def test_invalidate_range_unpins(self):
