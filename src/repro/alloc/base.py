@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro import sanitize
 from repro.analysis.counters import CounterSet
 from repro.mem.physical import PAGE_2M, PAGE_4K
 
@@ -122,7 +123,18 @@ class Allocator(ABC):
         """Allocate *size* bytes and return the buffer's virtual address."""
         if size <= 0:
             raise AllocationError(f"malloc size must be positive, got {size}")
-        vaddr, cost_ns = self._malloc(size)
+        san = sanitize._active
+        if san is None or not san.heap:
+            vaddr, cost_ns = self._malloc(size)
+        else:
+            # track nesting so the shadow heap records the application's
+            # allocation, not the hugepage library's inner libc delegate
+            san._heap_depth += 1
+            try:
+                vaddr, cost_ns = self._malloc(size)
+            finally:
+                san._heap_depth -= 1
+            san.on_malloc(self, vaddr, size)
         self._sizes[vaddr] = size
         self.stats.note_malloc(size, cost_ns)
         self.counters.add(f"alloc.{self.name}.malloc")
@@ -130,10 +142,20 @@ class Allocator(ABC):
 
     def free(self, vaddr: int) -> None:
         """Release the allocation starting at *vaddr*."""
+        san = sanitize._active
+        if san is not None and san.heap:
+            san.on_free(self, vaddr)
         size = self._sizes.pop(vaddr, None)
         if size is None:
             raise AllocationError(f"free() of unknown pointer {vaddr:#x}")
-        cost_ns = self._free(vaddr, size)
+        if san is None or not san.heap:
+            cost_ns = self._free(vaddr, size)
+        else:
+            san._heap_depth += 1
+            try:
+                cost_ns = self._free(vaddr, size)
+            finally:
+                san._heap_depth -= 1
         self.stats.note_free(size, cost_ns)
         self.counters.add(f"alloc.{self.name}.free")
 

@@ -7,7 +7,7 @@ from repro.analysis.report import Table, degradation_report, format_series
 __all__ = ["CounterSet", "Table", "degradation_report", "format_series"]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     # breakdown pulls in repro.systems; import lazily to avoid a cycle
     if name in ("MessageBreakdown", "breakdown_rdma_message",
                 "placement_comparison"):

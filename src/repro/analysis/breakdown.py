@@ -16,7 +16,7 @@ ground truth for contention effects.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.ib.hca import HCAConfig
 from repro.mem.physical import PAGE_2M, PAGE_4K
@@ -144,7 +144,7 @@ def placement_comparison(
     }
 
 
-def phase_delta_table(tracer, min_total: int = 0) -> str:
+def phase_delta_table(tracer: Any, min_total: int = 0) -> str:
     """Render a traced run's per-phase counter-delta table.
 
     *tracer* is a :class:`repro.trace.Tracer` whose run has finished

@@ -14,6 +14,8 @@ from collections import defaultdict
 from sys import intern
 from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
+from repro import sanitize as _sanitize
+
 
 class CounterSet:
     """A mutable mapping of counter name -> integer value.
@@ -42,21 +44,28 @@ class CounterSet:
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment *name* by *amount* (may be negative for corrections)."""
+        san = _sanitize._active
+        if san is not None and san.counter:
+            san.check_amount(name, amount)
         counts = self._counts
         if name not in counts:
             if type(name) is not str:
                 name = str(name)
-            name = intern(name)
+            name = intern(name)  # detlint: ignore[intern-str] — normalised above
         counts[name] += amount
 
     def add_many(self, pairs: Iterable[Tuple[str, int]]) -> None:
         """Apply several ``(name, amount)`` increments in one call."""
+        san = _sanitize._active
+        check = san is not None and san.counter
         counts = self._counts
         for name, amount in pairs:
+            if check:
+                san.check_amount(name, amount)
             if name not in counts:
                 if type(name) is not str:
                     name = str(name)
-                name = intern(name)
+                name = intern(name)  # detlint: ignore[intern-str] — normalised above
             counts[name] += amount
 
     def get(self, name: str, default: int = 0) -> int:
@@ -104,7 +113,7 @@ class CounterSet:
         for name, value in mapping.items():
             if type(name) is not str:
                 name = str(name)
-            self._counts[intern(name)] = value
+            self._counts[intern(name)] = value  # detlint: ignore[intern-str] — normalised above
 
     def diff(self, baseline: Mapping[str, int]) -> Dict[str, int]:
         """Counters accumulated since *baseline* (a prior snapshot)."""

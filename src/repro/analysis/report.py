@@ -6,7 +6,7 @@ and figures report; this module provides the small formatting helpers.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Union
 
 Cell = Union[str, int, float, None]
 
@@ -33,7 +33,8 @@ class Table:
     >>> print(t.render())  # doctest: +SKIP
     """
 
-    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+    def __init__(self, columns: Sequence[str],
+                 title: Optional[str] = None) -> None:
         if not columns:
             raise ValueError("Table needs at least one column")
         self.columns = list(columns)
@@ -106,7 +107,8 @@ _RECOVERED_PREFIXES = ("faults.qp.retries", "faults.qp.rnr_naks",
 _ABORTED_PREFIXES = ("faults.qp.retry_exhausted", "faults.qp.flushed")
 
 
-def degradation_report(counters, clock=None) -> str:
+def degradation_report(counters: Mapping[str, int],
+                       clock: Optional[Any] = None) -> str:
     """Summarize a run's fault/degradation counters as an ASCII report.
 
     *counters* is a dotted-name → value mapping (a ``CounterSet``

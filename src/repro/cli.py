@@ -43,6 +43,14 @@ per-phase counter-delta table after the run) and ``--trace-out FILE``
 (write a Chrome/Perfetto ``trace_event`` JSON timeline); ``repro trace
 <fig5|fig6|nas|faults>`` is the shorthand that runs a driver with
 tracing on — see ``docs/observability.md``.
+
+The same commands accept ``--sanitize[=heap,mr,tlb,counter]`` (default
+``all``) to run under the shadow-state sanitizer of
+:mod:`repro.sanitize`; ``repro sanitize <fig5|fig6|nas|faults>`` is the
+shorthand, and the ``REPRO_SANITIZE`` environment variable enables the
+same groups for any command.  A violation aborts the run with exit code
+3 and a one-line report naming the rule and the faulting address/key —
+see ``docs/static_analysis.md``.
 """
 
 from __future__ import annotations
@@ -439,7 +447,8 @@ def _cmd_perf(args) -> None:
 
     code = run_perf(quick=args.quick, out=args.out, compare=args.compare,
                     only=args.only, max_slowdown=args.max_slowdown,
-                    trace_overhead=args.trace_overhead)
+                    trace_overhead=args.trace_overhead,
+                    sanitize_overhead=args.sanitize_overhead)
     if code:
         raise SystemExit(code)
 
@@ -464,9 +473,9 @@ def _cmd_resume(args) -> None:
     if command not in COMMANDS:
         raise SystemExit(f"error: resume: snapshot names unknown command {command!r}")
     sub_args = _build_parser().parse_args(payload["argv"])
-    # a `repro trace <target>` run checkpoints under its target command
+    # a `repro trace/sanitize <target>` run checkpoints under its target
     resolved = sub_args.command
-    if resolved == "trace":
+    if resolved in ("trace", "sanitize"):
         resolved = "fig6" if sub_args.target == "nas" else sub_args.target
     if resolved != command:
         raise SystemExit("error: resume: snapshot argv does not match its command")
@@ -488,32 +497,38 @@ def _cmd_trace(args) -> None:
     _dispatch(args)
 
 
-def _dispatch(args) -> None:
-    """Dispatch one parsed command: output-path preflight, then the
-    command itself, wrapped in a capturing tracer when ``--trace`` /
-    ``--trace-out`` ask for one.  Shared by :func:`main` and the
-    ``resume`` / ``trace`` re-dispatch paths, so a resumed traced run
-    traces exactly like the original."""
-    fn = COMMANDS[args.command][0]
-    if args.command in ("trace", "resume"):
-        # both re-enter _dispatch themselves with the target command
-        fn(args)
-        return
-    ckpt_dir = getattr(args, "checkpoint_dir", None)
-    if ckpt_dir:
-        _ensure_dir(ckpt_dir, "--checkpoint-dir")
-    out = getattr(args, "trace_out", None)
-    if not (out or getattr(args, "trace", False)):
-        fn(args)
-        return
-    from repro import trace as trace_mod
+def _cmd_sanitize(args) -> None:
+    """Run a figure driver with the shadow-state sanitizer on
+    (``repro sanitize fig5``); ``nas`` is an alias for ``fig6``."""
+    args.command = "fig6" if args.target == "nas" else args.target
+    if getattr(args, "sanitize", None) is None:
+        args.sanitize = "all"
+    if args.command == "faults" and getattr(args, "fault_plan", None) is None:
+        args.fault_plan = "link_loss=0.01"
+    _dispatch(args)
 
-    if out:
-        _ensure_parent_dir(out, "--trace-out")
-    tracer = trace_mod.Tracer()
-    with trace_mod.capturing(tracer):
-        fn(args)
-        tracer.flush()
+
+def _make_sanitizer(args):
+    """The :class:`repro.sanitize.Sanitizer` requested by ``--sanitize``
+    or ``REPRO_SANITIZE``, or None.  A bad group spec exits with code 2."""
+    spec = getattr(args, "sanitize", None)
+    if spec is None:
+        spec = os.environ.get("REPRO_SANITIZE") or None
+    if spec is None:
+        return None
+    from repro import sanitize as sanitize_mod
+
+    try:
+        return sanitize_mod.Sanitizer(sanitize_mod.parse_rules(spec))
+    except ValueError as exc:
+        print(f"error: --sanitize: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _write_trace(args, tracer, out: Optional[str]) -> None:
+    """Write/print a finished tracer's outputs (shared by the clean and
+    the sanitizer-violation exits, so a violating run still leaves the
+    trace timeline its violation event links into)."""
     if out:
         tracer.write(out)
         print(f"trace: wrote {out} ({len(tracer.events)} events)",
@@ -523,6 +538,62 @@ def _dispatch(args) -> None:
 
         print()
         print(phase_delta_table(tracer))
+
+
+def _dispatch(args) -> None:
+    """Dispatch one parsed command: output-path preflight, then the
+    command itself, wrapped in a capturing tracer when ``--trace`` /
+    ``--trace-out`` ask for one and a capturing sanitizer when
+    ``--sanitize`` / ``REPRO_SANITIZE`` ask for one.  Shared by
+    :func:`main` and the ``resume`` / ``trace`` / ``sanitize``
+    re-dispatch paths, so a resumed traced run traces exactly like the
+    original."""
+    fn = COMMANDS[args.command][0]
+    if args.command in ("trace", "resume", "sanitize"):
+        # all three re-enter _dispatch themselves with the target command
+        fn(args)
+        return
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    if ckpt_dir:
+        _ensure_dir(ckpt_dir, "--checkpoint-dir")
+    sanitizer = _make_sanitizer(args)
+    out = getattr(args, "trace_out", None)
+    tracing = bool(out or getattr(args, "trace", False))
+    if sanitizer is None and not tracing:
+        fn(args)
+        return
+    tracer = None
+    with contextlib.ExitStack() as stack:
+        if sanitizer is not None:
+            from repro import sanitize as sanitize_mod
+
+            stack.enter_context(sanitize_mod.capturing(sanitizer))
+        if tracing:
+            from repro import trace as trace_mod
+
+            if out:
+                _ensure_parent_dir(out, "--trace-out")
+            tracer = trace_mod.Tracer()
+            stack.enter_context(trace_mod.capturing(tracer))
+        try:
+            fn(args)
+        except Exception as exc:
+            from repro import sanitize as sanitize_mod
+
+            if not isinstance(exc, sanitize_mod.SanitizerError):
+                raise
+            # keep the timeline: its last event is this violation
+            if tracer is not None:
+                _write_trace(args, tracer, out)
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(3)
+        if tracer is not None:
+            tracer.flush()
+    if sanitizer is not None:
+        # stderr, so sanitized stdout stays byte-identical to a plain run
+        print(sanitizer.report(), file=sys.stderr)
+    if tracer is not None:
+        _write_trace(args, tracer, out)
 
 
 COMMANDS = {
@@ -540,6 +611,7 @@ COMMANDS = {
     "perf": (_cmd_perf, "time fast vs reference paths, track BENCH_PR2.json"),
     "resume": (_cmd_resume, "resume a checkpointed run from a snapshot"),
     "trace": (_cmd_trace, "run a figure driver with tracing on"),
+    "sanitize": (_cmd_sanitize, "run a figure driver under the sanitizer"),
 }
 
 
@@ -569,7 +641,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            default="trace.json", metavar="FILE",
                            help="Chrome trace_event JSON output file "
                                 "(default trace.json)")
-        if name in ("fig6", "tlb", "trace"):
+        if name == "sanitize":
+            p.add_argument("target", choices=["fig5", "fig6", "nas", "faults"],
+                           help="the driver to run sanitized (nas = fig6)")
+        if name in ("fig6", "tlb", "trace", "sanitize"):
             p.add_argument("--class", dest="klass", default="W",
                            choices=["W", "B", "C"],
                            help="NAS problem class (default W; the paper "
@@ -577,7 +652,7 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "breakdown":
             p.add_argument("--mb", type=float, default=4.0,
                            help="message size in MB")
-        if name in ("fig5", "pingpong", "faults", "trace"):
+        if name in ("fig5", "pingpong", "faults", "trace", "sanitize"):
             default_plan = "link_loss=0.01" if name == "faults" else None
             p.add_argument("--fault-plan", dest="fault_plan",
                            default=default_plan, metavar="SPEC",
@@ -593,6 +668,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="FILE",
                            help="write the run's Chrome trace_event JSON "
                                 "timeline to FILE (implies tracing)")
+        if name in ("fig5", "fig6", "tlb", "faults", "trace", "sanitize"):
+            p.add_argument("--sanitize", dest="sanitize", nargs="?",
+                           const="all", default=None, metavar="GROUPS",
+                           help="run under the shadow-state sanitizer; "
+                                "GROUPS is a comma list of heap,mr,tlb,"
+                                "counter (default: all)")
         if name in ("fig5", "fig6", "tlb", "faults", "trace"):
             p.add_argument("--checkpoint-every", dest="checkpoint_every",
                            type=int, default=None, metavar="TICKS",
@@ -635,6 +716,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            action="store_true",
                            help="also time fig5 with tracing off vs on and "
                                 "report the enabled-mode overhead")
+            p.add_argument("--sanitize-overhead", dest="sanitize_overhead",
+                           action="store_true",
+                           help="also time fig5 with the sanitizer off vs "
+                                "on and report the enabled-mode overhead")
     return parser
 
 

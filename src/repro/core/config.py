@@ -29,7 +29,7 @@ class PlacementConfig:
     small_buffer_offset: int = 64
     sge_aggregation_limit: int = 128
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0 <= self.small_buffer_offset < 4096:
             raise ValueError("offset must lie inside one page")
         if self.sge_aggregation_limit < 1:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.config import PlacementConfig
 from repro.mem.hugetlbfs import HugePagePoolExhausted
@@ -55,10 +55,11 @@ class BufferPlacer:
     so page size and offset are exact; :meth:`release` returns them.
     """
 
-    def __init__(self, proc: OSProcess, config: Optional[PlacementConfig] = None):
+    def __init__(self, proc: OSProcess,
+                 config: Optional[PlacementConfig] = None) -> None:
         self.proc = proc
         self.config = config if config is not None else PlacementConfig()
-        self._live = {}
+        self._live: Dict[int, PlacedBuffer] = {}
 
     def _page_size_for(self, size: int, policy: PlacementPolicy) -> int:
         if policy is PlacementPolicy.SMALL_PAGES:

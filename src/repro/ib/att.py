@@ -20,6 +20,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro import sanitize
 from repro.analysis.counters import CounterSet
 
 
@@ -61,6 +62,9 @@ class ATTCache:
 
         Returns ``(hit, stall_ns)``.
         """
+        san = sanitize._active
+        if san is not None and san.mr:
+            san.check_att(mr_id, entry_index, 1)
         key = (mr_id, entry_index)
         if key in self._cache:
             self._cache.move_to_end(key)
@@ -83,6 +87,9 @@ class ATTCache:
         """
         if n_entries <= 0:
             raise ValueError(f"n_entries must be positive, got {n_entries}")
+        san = sanitize._active
+        if san is not None and san.mr:
+            san.check_att(mr_id, first_entry, n_entries)
         cache = self._cache
         capacity = self.config.entries
         end = first_entry + n_entries

@@ -35,7 +35,7 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Generator, Optional, Set, Tuple
 
-from repro import fastpath, trace
+from repro import fastpath, sanitize, trace
 from repro.analysis.counters import CounterSet
 from repro.engine.clock import TickClock
 from repro.engine.core import NORMAL, SimKernel
@@ -263,6 +263,11 @@ class HCA:
     def lookup_mr(self, lkey: int) -> MemoryRegion:
         """The MR registered under *lkey*."""
         mr = self._mrs_by_lkey.get(lkey)
+        san = sanitize._active
+        if san is not None and san.mr:
+            # distinguishes a deregistered key from a never-valid one
+            # before the generic verbs error below
+            san.check_lkey(mr, lkey, "lookup_mr")
         if mr is None or not mr.registered:
             raise IBVerbsError(f"invalid lkey {lkey:#x}")
         return mr
@@ -303,12 +308,15 @@ class HCA:
             )
         if len(wr.sges) > qp.max_sge:
             raise IBVerbsError(f"{len(wr.sges)} SGEs exceeds QP max of {qp.max_sge}")
+        san = sanitize._active
         for sge in wr.sges:
             mr = self.lookup_mr(sge.lkey)
             if not mr.contains(sge.addr, sge.length):
                 raise IBVerbsError(
                     f"SGE [{sge.addr:#x}+{sge.length}] outside MR {mr.mr_id}"
                 )
+            if san is not None and san.mr:
+                san.check_dma(mr, sge.addr, sge.length, "post_send")
         ns = (
             self.config.post_base_ns
             + len(wr.sges) * self.config.post_per_sge_ns
@@ -321,12 +329,15 @@ class HCA:
 
     def post_recv(self, qp: QueuePair, wr: RecvWR) -> Generator:
         """Post a receive WR (no doorbell on the fast path)."""
+        san = sanitize._active
         for sge in wr.sges:
             mr = self.lookup_mr(sge.lkey)
             if not mr.contains(sge.addr, sge.length):
                 raise IBVerbsError(
                     f"SGE [{sge.addr:#x}+{sge.length}] outside MR {mr.mr_id}"
                 )
+            if san is not None and san.mr:
+                san.check_dma(mr, sge.addr, sge.length, "post_recv")
         ns = self.config.post_base_ns * 0.6 + len(wr.sges) * self.config.post_per_sge_ns
         self.counters.add("hca.post_recv")
         yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
@@ -769,6 +780,12 @@ class HCA:
 
     def _receive_rdma_write(self, packet: _Packet, wire: Wire) -> Generator:
         mr = self._mrs_by_rkey.get(packet.rkey)
+        san = sanitize._active
+        if san is not None and san.mr:
+            # catch the use-after-dereg rkey here, at the faulting rx,
+            # instead of quietly answering remote-access-error below
+            san.check_rkey(mr, packet.rkey, packet.remote_addr,
+                           packet.nbytes, "rdma_write.rx")
         status = "success"
         if mr is None or not mr.registered:
             status = "remote-access-error"
@@ -798,6 +815,10 @@ class HCA:
         """Responder half of an RDMA read: gather the exposed region
         and stream it back as a read response."""
         mr = self._mrs_by_rkey.get(packet.rkey)
+        san = sanitize._active
+        if san is not None and san.mr:
+            san.check_rkey(mr, packet.rkey, packet.remote_addr,
+                           packet.nbytes, "rdma_read.rx")
         status = "success"
         if mr is None or not mr.registered or not mr.contains(
             packet.remote_addr, packet.nbytes

@@ -25,7 +25,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro import fastpath
+from repro import fastpath, sanitize
 from repro.analysis.counters import CounterSet
 from repro.faults import (
     FaultInjector,
@@ -142,6 +142,9 @@ class RegistrationEngine:
         self.counters.add("reg.register")
         self.counters.add("reg.entries_uploaded", n_entries)
         self.counters.add("reg.pages_pinned", len(pages))
+        san = sanitize._active
+        if san is not None and san.mr:
+            san.on_register(mr, aspace)
         return mr, ns
 
     def deregister(self, aspace: AddressSpace, mr: MemoryRegion) -> float:
@@ -158,6 +161,9 @@ class RegistrationEngine:
         self.att.invalidate_region(mr.mr_id)
         mr.registered = False
         self.counters.add("reg.deregister")
+        san = sanitize._active
+        if san is not None and san.mr:
+            san.on_deregister(mr)
         return ns
 
     @staticmethod

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Optional, Sequence, Tuple
 
-from repro import fastpath, trace
+from repro import fastpath, sanitize, trace
 from repro.analysis.counters import CounterSet
 from repro.engine.clock import TickClock
 from repro.mem.address_space import AddressSpace
@@ -108,6 +108,9 @@ class MemoryAccessEngine:
         """
         if nbytes <= 0:
             raise ValueError(f"nbytes must be positive, got {nbytes}")
+        san = sanitize._active
+        if san is not None:
+            san.check_access(self, vaddr, nbytes, "touch")
         if fastpath.enabled():
             cost = self._touch_fast(vaddr, nbytes, write)
             if cost is not None:
@@ -192,6 +195,9 @@ class MemoryAccessEngine:
         """
         if nbytes <= 0:
             raise ValueError(f"nbytes must be positive, got {nbytes}")
+        san = sanitize._active
+        if san is not None:
+            san.check_access(self, vaddr, nbytes, "stream")
         if fastpath.enabled():
             cost = self._stream_fast(vaddr, nbytes)
             if cost is not None:
@@ -269,6 +275,10 @@ class MemoryAccessEngine:
             raise ValueError("rotate() needs at least one region")
         if switches < 0 or burst_bytes <= 0:
             raise ValueError("need switches >= 0 and burst_bytes > 0")
+        san = sanitize._active
+        if san is not None:
+            for region_vaddr, region_bytes in regions:
+                san.check_access(self, region_vaddr, region_bytes, "rotate")
         cost = AccessCost()
         page_size = self._page_size_at(regions[0][0])
         # bursts wander through their region; spill fraction = share of
@@ -311,6 +321,9 @@ class MemoryAccessEngine:
         """
         if n_accesses < 0 or region_bytes <= 0 or stride <= 0:
             raise ValueError("need n_accesses >= 0, region/stride > 0")
+        san = sanitize._active
+        if san is not None:
+            san.check_access(self, vaddr, region_bytes, "strided")
         cost = AccessCost()
         page_size = self._page_size_at(vaddr)
         # TLB: the stride visits region/stride slots in rotation
@@ -349,6 +362,9 @@ class MemoryAccessEngine:
         """
         if n_accesses < 0 or region_bytes <= 0:
             raise ValueError("need n_accesses >= 0 and region_bytes > 0")
+        san = sanitize._active
+        if san is not None:
+            san.check_access(self, vaddr, region_bytes, "random")
         cost = AccessCost()
         page_size = self._page_size_at(vaddr)
         misses = self.tlb.analytic_random_misses(n_accesses, region_bytes, page_size)

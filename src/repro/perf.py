@@ -258,7 +258,8 @@ def write_results(path: str, mode: str, results: Dict[str, dict]) -> None:
         except (OSError, ValueError):
             pass
     doc.setdefault("modes", {})[mode] = {
-        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        # results-file metadata only; never feeds simulated state
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),  # detlint: ignore[wallclock]
         "python": platform.python_version(),
         "platform": platform.platform(),
         "results": results,
@@ -289,6 +290,39 @@ def measure_trace_overhead(quick: bool = True, repeats: int = 3) -> Dict[str, fl
                 with trace.capturing(trace.Tracer()) as tracer:
                     spec.run(quick)
                     tracer.flush()
+            else:
+                spec.run(quick)
+            out = min(out, time.perf_counter() - start)
+        return out
+
+    _prime()
+    off_s = best(False)
+    on_s = best(True)
+    return {"off_s": round(off_s, 4), "on_s": round(on_s, 4),
+            "overhead": round(on_s / off_s - 1.0, 4) if off_s else 0.0}
+
+
+def measure_sanitize_overhead(quick: bool = True,
+                              repeats: int = 3) -> Dict[str, float]:
+    """Time the fig5 sweep with the sanitizer disabled vs enabled.
+
+    ``off_s`` is the default mode: every hook site pays one module-global
+    read plus a None check (see :mod:`repro.sanitize` — the same pattern
+    as :mod:`repro.trace`).  ``on_s`` carries the full shadow-state
+    bookkeeping for every group.  Returns best-of-*repeats* seconds for
+    each plus the enabled-mode ``overhead`` fraction (``on_s/off_s - 1``).
+    """
+    from repro import sanitize
+
+    spec = next(s for s in BENCHMARKS if s.name == "fig5")
+
+    def best(sanitized: bool) -> float:
+        out = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            if sanitized:
+                with sanitize.capturing(sanitize.Sanitizer()):
+                    spec.run(quick)
             else:
                 spec.run(quick)
             out = min(out, time.perf_counter() - start)
@@ -349,7 +383,8 @@ def run_perf(quick: bool = False, out: str = "BENCH_PR2.json",
              compare: Optional[str] = None,
              only: Optional[List[str]] = None,
              max_slowdown: Optional[float] = None,
-             trace_overhead: bool = False) -> int:
+             trace_overhead: bool = False,
+             sanitize_overhead: bool = False) -> int:
     """The ``repro perf`` entry point; returns a process exit code."""
     mode = "quick" if quick else "full"
     if trace_overhead:
@@ -357,6 +392,12 @@ def run_perf(quick: bool = False, out: str = "BENCH_PR2.json",
         print(f"fig5 trace overhead: off={oh['off_s']:.3f}s "
               f"on={oh['on_s']:.3f}s (+{oh['overhead'] * 100:.1f}% when "
               f"tracing is enabled; disabled mode pays only the None check)")
+    if sanitize_overhead:
+        oh = measure_sanitize_overhead(quick=quick)
+        print(f"fig5 sanitize overhead: off={oh['off_s']:.3f}s "
+              f"on={oh['on_s']:.3f}s (+{oh['overhead'] * 100:.1f}% when "
+              f"the sanitizer is enabled; disabled mode pays only the "
+              f"None check)")
     results = run_benchmarks(quick=quick, only=only)
     print(render_results(mode, results))
     failures = [f"{name}: fast and reference paths diverged"

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import json
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, ContextManager, Dict, Iterator, List, Optional, Tuple
 
 #: the installed tracer, or None (tracing disabled).  Module-level so
 #: instrumentation sites pay one attribute read + None check when
@@ -78,7 +78,7 @@ def uninstall() -> None:
 
 
 @contextmanager
-def capturing(tracer: "Tracer"):
+def capturing(tracer: "Tracer") -> Iterator["Tracer"]:
     """Install *tracer* for the duration of a ``with`` block."""
     global _tracer
     prior = _tracer
@@ -94,17 +94,17 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
 NULL_SPAN = _NullSpan()
 
 
-def span(name: str, track: Optional[str] = None, **attrs):
+def span(name: str, track: Optional[str] = None, **attrs: Any) -> ContextManager[Any]:
     """A span on the installed tracer, or a no-op when disabled.
 
     Convenience for sites where the one-call overhead is acceptable;
@@ -117,14 +117,14 @@ def span(name: str, track: Optional[str] = None, **attrs):
     return t.span(name, track=track, **attrs)
 
 
-def instant(name: str, track: Optional[str] = None, **attrs) -> None:
+def instant(name: str, track: Optional[str] = None, **attrs: Any) -> None:
     """An instant event on the installed tracer (no-op when disabled)."""
     t = _tracer
     if t is not None:
         t.instant(name, track=track, **attrs)
 
 
-def attach_cluster(cluster) -> None:
+def attach_cluster(cluster: Any) -> None:
     """Bind the installed tracer's clock and counter source to
     *cluster* (called by ``Cluster.__init__``; no-op when disabled)."""
     t = _tracer
@@ -141,11 +141,11 @@ class Tracer:
     with :func:`capturing`.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: closed events, in close order (deterministic: simulation
         #: order is deterministic and spans append on exit)
         self.events: List[Dict[str, Any]] = []
-        self._kernel = None
+        self._kernel: Optional[Any] = None
         self._counter_fn: Optional[Callable[[], Dict[str, int]]] = None
         self._last_sample: Dict[str, int] = {}
         #: open spans, oldest first; counter deltas attribute to the
@@ -159,7 +159,7 @@ class Tracer:
         kernel = self._kernel
         return kernel.now if kernel is not None else 0
 
-    def attach_cluster(self, cluster) -> None:
+    def attach_cluster(self, cluster: Any) -> None:
         """Re-key the tracer to *cluster*'s kernel and counters.
 
         Flushes the outgoing source's residual counter delta first, so
@@ -182,7 +182,7 @@ class Tracer:
             return
         current = fn()
         last = self._last_sample
-        delta = {}
+        delta: Dict[str, int] = {}
         for key, value in current.items():
             d = value - last.get(key, 0)
             if d:
@@ -207,7 +207,8 @@ class Tracer:
     # -- recording ----------------------------------------------------------
 
     @contextmanager
-    def span(self, name: str, track: Optional[str] = None, **attrs):
+    def span(self, name: str, track: Optional[str] = None,
+             **attrs: Any) -> Iterator[Dict[str, Any]]:
         """Record a span; yields the record so callers may add
         attributes discovered mid-span (``rec["args"]["hit"] = True``).
 
@@ -232,7 +233,8 @@ class Tracer:
             rec["dur"] = self._now() - rec["ts"]
             self.events.append(rec)
 
-    def instant(self, name: str, track: Optional[str] = None, **attrs) -> None:
+    def instant(self, name: str, track: Optional[str] = None,
+                **attrs: Any) -> None:
         """Record a point event at the current simulated tick."""
         self.events.append({
             "ph": "i", "name": name, "ts": self._now(),
@@ -298,7 +300,7 @@ class Tracer:
         """The trace as a Chrome/Perfetto ``trace_event`` object."""
         out: List[Dict[str, Any]] = []
         pids: Dict[str, int] = {}
-        tids: Dict[tuple, int] = {}
+        tids: Dict[Tuple[int, str], int] = {}
 
         def pid_for(unit: str) -> int:
             pid = pids.get(unit)

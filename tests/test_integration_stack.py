@@ -23,10 +23,11 @@ class TestPreloadThroughMPI:
 
         def program(comm):
             preload_hugepage_library(comm.proc)
-            buf = comm.proc.malloc(2 * MB)
+            buf = comm.proc.malloc(4 * MB)
             other = 1 - comm.rank
             yield from comm.sendrecv(other, 1, 2 * MB, source=other,
-                                     recvtag=1, send_addr=buf, recv_addr=buf)
+                                     recvtag=1, send_addr=buf,
+                                     recv_addr=buf + 2 * MB)
             mrs = comm.endpoint.regcache._entries
             return [(mr.entry_page_size, mr.n_entries) for mr in mrs]
 
@@ -47,10 +48,10 @@ class TestPreloadThroughMPI:
                     preload_hugepage_library(comm.proc)
                 other = 1 - comm.rank
                 for _ in range(4):
-                    buf = comm.proc.malloc(1 * MB)
+                    buf = comm.proc.malloc(2 * MB)
                     yield from comm.sendrecv(other, 2, 1 * MB, source=other,
                                              recvtag=2, send_addr=buf,
-                                             recv_addr=buf)
+                                             recv_addr=buf + 1 * MB)
                     comm.proc.free(buf)
                 return comm.endpoint.regcache.misses
 
@@ -69,13 +70,13 @@ class TestPreloadThroughMPI:
             def program(comm):
                 if hugepages:
                     preload_hugepage_library(comm.proc)
-                buf = comm.proc.malloc(4 * MB)
+                buf = comm.proc.malloc(8 * MB)
                 other = 1 - comm.rank
                 t0 = comm.kernel.now
                 for _ in range(3):
                     yield from comm.sendrecv(other, 3, 4 * MB, source=other,
                                              recvtag=3, send_addr=buf,
-                                             recv_addr=buf)
+                                             recv_addr=buf + 4 * MB)
                 if comm.rank == 0:
                     out["ticks"] = comm.kernel.now - t0
                 return None
@@ -157,7 +158,8 @@ class TestCounterPlumbing:
             other = 1 - comm.rank
             buf = comm.proc.malloc(MB)
             yield from comm.sendrecv(other, 1, 100 * KB, source=other,
-                                     recvtag=1, send_addr=buf, recv_addr=buf)
+                                     recvtag=1, send_addr=buf,
+                                     recv_addr=buf + 512 * KB)
             return None
 
         world.run(program)

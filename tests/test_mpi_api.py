@@ -115,7 +115,8 @@ class TestPointToPoint:
             buf = comm.proc.malloc(MB)
             res = yield from comm.sendrecv(
                 other, 9, 128 * KB, source=other, recvtag=9,
-                send_addr=buf, recv_addr=buf, payload=f"from{comm.rank}",
+                send_addr=buf, recv_addr=buf + 512 * KB,
+                payload=f"from{comm.rank}",
             )
             return res[0]
 
@@ -161,7 +162,7 @@ class TestLazyDereg:
             for i in range(4):
                 yield from comm.sendrecv(
                     other, 11, 512 * KB, source=other, recvtag=11,
-                    send_addr=buf, recv_addr=buf,
+                    send_addr=buf, recv_addr=buf + 512 * KB,
                 )
             if comm.rank == 0:
                 stats["ticks"] = comm.kernel.now - t0
@@ -198,7 +199,8 @@ class TestProfiler:
             other = 1 - comm.rank
             buf = comm.proc.malloc(MB)
             yield from comm.sendrecv(other, 1, 64 * KB, source=other,
-                                     recvtag=1, send_addr=buf, recv_addr=buf)
+                                     recvtag=1, send_addr=buf,
+                                     recv_addr=buf + 512 * KB)
             return None
 
         results = world.run(program)

@@ -137,7 +137,7 @@ class TestReadRendezvous:
                 for _ in range(3):
                     yield from comm.sendrecv(other, 1, 4 * MB, source=other,
                                              recvtag=1, send_addr=buf,
-                                             recv_addr=buf)
+                                             recv_addr=buf + 4 * MB)
                 if comm.rank == 0:
                     out["ticks"] = comm.kernel.now - t0
                 return None

@@ -178,7 +178,8 @@ class TestRegistrationCache:
             for _ in range(3):
                 buf = comm.proc.malloc(512 * KB)  # libc mmap path
                 yield from comm.sendrecv(other, 4, 256 * KB, source=other,
-                                         recvtag=4, send_addr=buf, recv_addr=buf)
+                                         recvtag=4, send_addr=buf,
+                                         recv_addr=buf + 256 * KB)
                 comm.proc.free(buf)  # munmap -> hook -> invalidate
             return comm.endpoint.regcache.misses
 
