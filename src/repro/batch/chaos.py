@@ -1,0 +1,104 @@
+"""Seeded chaos injection for the batch runner.
+
+``repro batch --chaos kill-worker:p=0.1,stall:p=0.05 --chaos-seed 3``
+kills (or stalls) workers mid-job so the crash-recovery path is
+exercised *deterministically*: whether a given job's first attempt is
+sabotaged depends only on the chaos seed and the job's sha256 memo key
+— never on pool scheduling, pids or wall time.  Retries are always
+clean (chaos fires on attempt 0 only), so a chaos batch with a retry
+budget ≥ 1 must still complete, and — determinism again — its results
+must be byte-identical to an uninterrupted run of the same specfile.
+That is exactly what the ``batch-smoke`` CI job asserts.
+
+Two directives:
+
+``kill-worker:p=P``
+    With probability *P* per job, the worker SIGKILLs itself mid-job —
+    right after its first checkpoint snapshot lands (or at job start
+    for drivers without checkpoint support).  Exercises crash
+    isolation + resume-from-snapshot.
+``stall:p=P``
+    With probability *P* per job, the worker wedges (sleeps forever) at
+    the same point.  Exercises the per-job wall-clock timeout; the
+    supervisor must SIGKILL it, so ``--chaos`` with a stall directive
+    requires ``--timeout``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+#: chaos actions, in decision order
+KILL = "kill"
+STALL = "stall"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Parsed ``--chaos`` directives plus the decision seed."""
+
+    kill_worker_p: float = 0.0
+    stall_p: float = 0.0
+    seed: int = 0
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """The chaos action for (*key*, *attempt*), or None.
+
+        Deterministic in (seed, key): the RNG is constructed from
+        them, so the same specfile + seed sabotages the same jobs no
+        matter how the pool interleaves.  Only a job's first attempt
+        (``attempt == 0``) is ever sabotaged — retries must be able to
+        finish the batch.
+        """
+        if attempt != 0:
+            return None
+        rng = random.Random(f"{self.seed}:{key}")
+        if rng.random() < self.kill_worker_p:
+            return KILL
+        if rng.random() < self.stall_p:
+            return STALL
+        return None
+
+
+def _parse_p(directive: str, body: str) -> float:
+    if not body.startswith("p="):
+        raise ValueError(f"chaos directive {directive!r}: expected "
+                         f"'{directive}:p=PROB'")
+    try:
+        p = float(body[2:])
+    except ValueError:
+        raise ValueError(f"chaos directive {directive!r}: {body[2:]!r} is "
+                         "not a probability")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"chaos directive {directive!r}: probability {p} "
+                         "outside [0, 1]")
+    return p
+
+
+def parse_chaos(spec: str, seed: int = 0) -> ChaosPlan:
+    """Parse a ``--chaos`` spec (comma-separated directives).
+
+    Raises :class:`ValueError` with a friendly message on a bad spec
+    (the CLI converts that to exit code 2).
+    """
+    kill_p = 0.0
+    stall_p = 0.0
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, body = part.partition(":")
+        if not sep:
+            raise ValueError(f"chaos directive {part!r}: missing ':p=PROB'")
+        if name == "kill-worker":
+            kill_p = _parse_p(name, body)
+        elif name == "stall":
+            stall_p = _parse_p(name, body)
+        else:
+            raise ValueError(f"unknown chaos directive {name!r} "
+                             "(known: kill-worker, stall)")
+    if kill_p == 0.0 and stall_p == 0.0:
+        raise ValueError(f"chaos spec {spec!r} enables nothing")
+    return ChaosPlan(kill_worker_p=kill_p, stall_p=stall_p, seed=seed)

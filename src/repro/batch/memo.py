@@ -1,0 +1,43 @@
+"""The sha256-keyed result memo cache.
+
+Determinism makes memoization *exact*: a job's stdout is a pure
+function of its ``(command, args)`` config, so the sha256 of that
+config (:func:`repro.batch.spec.job_key`) addresses its result bytes.
+Results live under ``<out-dir>/results/<key>.out`` and are published
+atomically — a half-written result can never be served, and two
+concurrent publishers of the same key (a re-queued duplicate racing a
+crash-recovered original) simply replace each other with identical
+bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.util import atomic_write
+
+
+class MemoCache:
+    """Filesystem result cache under ``<root>/results``."""
+
+    def __init__(self, root: str):
+        self.directory = os.path.join(root, "results")
+        os.makedirs(self.directory, exist_ok=True)
+
+    def result_path(self, key: str) -> str:
+        """Where *key*'s result bytes live (whether or not present)."""
+        return os.path.join(self.directory, f"{key}.out")
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The published result path for *key*, or None."""
+        path = self.result_path(key)
+        return path if os.path.exists(path) else None
+
+    def publish(self, key: str, stdout_path: str) -> str:
+        """Atomically publish the bytes of *stdout_path* under *key*."""
+        with open(stdout_path, "rb") as fh:
+            data = fh.read()
+        path = self.result_path(key)
+        atomic_write(path, data, prefix=".result-")
+        return path

@@ -1,0 +1,142 @@
+"""The per-job worker process.
+
+Each attempt of each job runs in its own freshly spawned process — the
+crash-isolation boundary.  The worker:
+
+* chdirs into the job's work directory (relative outputs like the
+  ``trace`` command's default ``trace.json`` land there),
+* redirects stdout/stderr to ``stdout.txt`` / ``stderr.txt`` (stdout
+  is the job's *result* — published to the memo cache on success),
+* injects ``--checkpoint-every/--checkpoint-dir`` into checkpointable
+  drivers so every unit boundary leaves a resumable snapshot, and on a
+  retry after a crash runs ``repro resume <snapshot>`` instead of the
+  original command — finishing the job from its last snapshot with
+  byte-identical stdout,
+* hosts the chaos actions: via the :func:`repro.checkpoint.
+  set_snapshot_hook` hook a sabotaged attempt SIGKILLs itself (or
+  stalls) immediately *after* its first snapshot is durably on disk,
+  which is precisely the window crash recovery must cover.
+
+The worker exits with the wrapped command's exit code; the supervisor
+reads it (or the signal that killed the process) off ``Process.
+exitcode``.
+
+This module is process management, not simulation — the
+``wallclock-sleep`` determinism-lint suppressions below are the
+documented escape hatch for exactly this code.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+import traceback
+from typing import List, Optional
+
+from repro.batch.chaos import KILL, STALL
+
+#: drivers that accept --checkpoint-every/--checkpoint-dir
+CHECKPOINTABLE = {"fig5", "fig6", "tlb", "faults", "trace"}
+#: drivers that accept --trace-out (the trace command has its own)
+TRACEABLE = {"fig5", "fig6", "tlb", "faults"}
+
+#: file names inside a job's work directory
+STDOUT_NAME = "stdout.txt"
+STDERR_NAME = "stderr.txt"
+CKPT_DIRNAME = "ckpt"
+TRACE_NAME = "trace.json"
+
+
+def snapshot_path(jobdir: str) -> str:
+    """The job's resume point (written by ``--checkpoint-every 0``)."""
+    return os.path.join(jobdir, CKPT_DIRNAME, "latest.snap")
+
+
+def build_attempt_argv(command: str, args: List[str], jobdir: str,
+                       use_resume: bool, checkpoint_every: int = 0,
+                       trace: bool = False) -> List[str]:
+    """The ``repro`` argv for one attempt of a job.
+
+    A retry of a crashed checkpointable job resumes from its snapshot
+    (*use_resume*); a fresh attempt runs the spec's own command with
+    checkpoint (and optionally trace) flags injected.  The injected
+    flags only add stderr chatter and side files — stdout stays
+    byte-identical to the plain command, so memo keys ignore them.
+    """
+    if use_resume:
+        return ["resume", snapshot_path(jobdir)]
+    argv = [command, *args]
+    if command in CHECKPOINTABLE and "--checkpoint-dir" not in args:
+        argv += ["--checkpoint-every", str(checkpoint_every),
+                 "--checkpoint-dir", os.path.join(jobdir, CKPT_DIRNAME)]
+    if trace and command in TRACEABLE and "--trace-out" not in args:
+        argv += ["--trace-out", os.path.join(jobdir, TRACE_NAME)]
+    return argv
+
+
+def _fire(action: str) -> None:
+    """Execute a chaos action (never returns)."""
+    if action == KILL:
+        os.kill(os.getpid(), signal.SIGKILL)  # detlint: ignore[wallclock-sleep]
+    while action == STALL:  # wedge until the supervisor's timeout kills us
+        time.sleep(0.05)  # detlint: ignore[wallclock-sleep]
+
+
+def _install_chaos(action: str, command: str) -> None:
+    """Arrange for *action* to fire mid-job.
+
+    Checkpointable drivers fire right after their first snapshot write
+    (so recovery from that snapshot is what gets exercised); drivers
+    without checkpoint support fire before the command runs and their
+    retry simply re-runs from scratch.
+    """
+    from repro import checkpoint
+
+    if command not in CHECKPOINTABLE:
+        _fire(action)
+        return
+
+    def hook(path: str) -> None:
+        checkpoint.set_snapshot_hook(None)
+        _fire(action)
+
+    checkpoint.set_snapshot_hook(hook)
+
+
+def worker_entry(jobdir: str, argv: List[str],
+                 chaos_action: Optional[str] = None,
+                 command: str = "") -> None:
+    """Process entry point: run one attempt, exit with its code."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the supervisor owns ^C
+    os.chdir(jobdir)
+    out = open(STDOUT_NAME, "w", encoding="utf-8")
+    err = open(STDERR_NAME, "w", encoding="utf-8")
+    sys.stdout = out
+    sys.stderr = err
+    code = 0
+    try:
+        if chaos_action is not None:
+            _install_chaos(chaos_action, command)
+        from repro.cli import main as cli_main
+
+        code = int(cli_main(argv) or 0)
+    except SystemExit as exc:
+        if isinstance(exc.code, int):
+            code = exc.code
+        else:
+            code = 0 if exc.code is None else 1
+    except BaseException:
+        traceback.print_exc(file=err)
+        code = 1
+    finally:
+        for fh in (out, err):
+            try:
+                fh.flush()
+                os.fsync(fh.fileno())
+            except (OSError, ValueError):
+                pass
+    # skip interpreter teardown: inherited state (pytest plugins, the
+    # parent's atexit hooks) must not run in the worker
+    os._exit(code)

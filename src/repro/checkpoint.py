@@ -49,14 +49,14 @@ import json
 import os
 import pickle
 import sys
-import tempfile
 import threading
 import time
 import weakref
 from dataclasses import asdict
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.engine import core as engine_core
+from repro.util import atomic_write
 
 #: snapshot schema tag; bump on any incompatible payload change
 SCHEMA = "repro-checkpoint/1"
@@ -103,22 +103,7 @@ def write_snapshot(path: str, payload: Any, meta: Optional[dict] = None) -> dict
         "meta": meta or {},
     }
     line = json.dumps(manifest, sort_keys=True).encode("utf-8") + b"\n"
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(prefix=".snap-", dir=directory)
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(line)
-            fh.write(body)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    atomic_write(path, line + body, prefix=".snap-")
     return manifest
 
 
@@ -147,10 +132,17 @@ def read_snapshot(path: str):
     digest = hashlib.sha256(body).hexdigest()
     if digest != manifest.get("sha256"):
         raise CheckpointError(
-            f"{path!r}: integrity check failed "
-            f"(manifest {manifest.get('sha256')}, body {digest})"
+            f"{path!r}: integrity check failed — truncated or corrupt "
+            f"snapshot (manifest {manifest.get('sha256')}, body {digest})"
         )
-    return manifest, pickle.loads(body)
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        # a checksum-valid body can still fail to unpickle (e.g. it was
+        # written by a build whose classes have since moved); surface it
+        # as a snapshot problem, not a traceback
+        raise CheckpointError(f"{path!r}: cannot unpickle snapshot body: {exc}")
+    return manifest, payload
 
 
 # ---------------------------------------------------------------------------
@@ -540,6 +532,22 @@ def restore_cluster(payload: dict):
 # run-level checkpointing: the unit ledger behind --checkpoint-every
 # ---------------------------------------------------------------------------
 
+#: process-wide snapshot observer, or None.  :mod:`repro.batch` workers
+#: install one so the supervisor-facing side effects (chaos injection,
+#: progress markers) run exactly at snapshot boundaries.
+_snapshot_hook: Optional[Callable[[str], None]] = None
+
+
+def set_snapshot_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Install *hook* to be called with the path of every run-ledger
+    snapshot :class:`RunCheckpointer` writes (None disables).  The hook
+    runs after the snapshot is durably on disk, so a hook that kills
+    the process (the batch runner's chaos mode does exactly that)
+    leaves a resumable snapshot behind."""
+    global _snapshot_hook
+    _snapshot_hook = hook
+
+
 class RunCheckpointer:
     """Unit ledger for resumable CLI runs.
 
@@ -638,6 +646,8 @@ class RunCheckpointer:
         write_snapshot(os.path.join(directory, "latest.snap"), payload, meta=meta)
         self.last_snapshot_path = path
         self._log(f"checkpoint: wrote {path} ({len(self.units)} units)")
+        if _snapshot_hook is not None:
+            _snapshot_hook(path)
         return path
 
 

@@ -15,6 +15,7 @@
     python -m repro faults               # fault-injection demo + report
     python -m repro perf [--quick]       # fast-vs-reference perf harness
     python -m repro trace fig5 --trace-out t.json   # traced figure run
+    python -m repro batch specs.json     # crash-tolerant batch runner
 
 Each command prints the same rows/series the paper reports.  The heavier
 NAS commands accept ``--class W|B|C`` (the benchmark suite uses C).
@@ -51,6 +52,18 @@ shorthand, and the ``REPRO_SANITIZE`` environment variable enables the
 same groups for any command.  A violation aborts the run with exit code
 3 and a one-line report naming the rule and the faulting address/key —
 see ``docs/static_analysis.md``.
+
+``repro batch <specfile>`` runs a JSON list of experiment specs on a
+supervised worker-process pool with a crash-safe job journal, per-job
+timeouts, retry with exponential backoff, resume-from-snapshot crash
+recovery, sha256-keyed result memoization and a seeded ``--chaos``
+mode — see ``docs/batch_runner.md``.
+
+Exit codes are a contract across every subcommand: 0 = clean run, 2 =
+bad spec / failed preflight (bad flags, unreadable or corrupt
+snapshot/specfile, unwritable output path), 3 = sanitizer violation;
+the batch runner adds 1 = jobs failed permanently and 130 =
+interrupted.
 """
 
 from __future__ import annotations
@@ -143,7 +156,8 @@ def _parse_fault_plan(args):
             return FaultPlan.from_file(spec, seed=seed)
         return FaultPlan.from_spec(spec, seed=seed)
     except ValueError as exc:
-        raise SystemExit(f"error: --fault-plan: {exc}")
+        print(f"error: --fault-plan: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 @contextlib.contextmanager
@@ -453,32 +467,47 @@ def _cmd_perf(args) -> None:
         raise SystemExit(code)
 
 
+def _resume_error(message: str) -> "SystemExit":
+    """A friendly exit-2 resume error (bad/corrupt snapshot = bad spec)."""
+    print(f"error: resume: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def _cmd_resume(args) -> None:
     """Resume a checkpointed run: re-parse the snapshot's argv and
     dispatch its command with the unit ledger preloaded — completed
-    units replay from the snapshot instead of re-simulating."""
+    units replay from the snapshot instead of re-simulating.
+
+    Every snapshot problem — missing file, truncated or corrupt body,
+    unpicklable payload, a ledger missing its fields — is reported as a
+    one-line exit-2 error, never a traceback."""
     from repro.checkpoint import CheckpointError, read_snapshot
 
     try:
         _manifest, payload = read_snapshot(args.snapshot)
     except CheckpointError as exc:
-        raise SystemExit(f"error: resume: {exc}")
+        raise _resume_error(str(exc))
     if not isinstance(payload, dict) or payload.get("kind") != "run-ledger":
-        raise SystemExit(
-            f"error: resume: {args.snapshot!r} is a "
+        raise _resume_error(
+            f"{args.snapshot!r} is a "
             f"{payload.get('kind', 'unknown') if isinstance(payload, dict) else 'unknown'!r} "
             "snapshot, not a run ledger (post-mortem cluster snapshots are "
             "forensic; load them with repro.checkpoint.read_snapshot)")
     command = payload.get("command")
     if command not in COMMANDS:
-        raise SystemExit(f"error: resume: snapshot names unknown command {command!r}")
+        raise _resume_error(f"snapshot names unknown command {command!r}")
+    if not isinstance(payload.get("argv"), list) \
+            or not isinstance(payload.get("units"), dict):
+        raise _resume_error(
+            f"{args.snapshot!r} is missing its argv/unit ledger "
+            "(corrupt or hand-edited run-ledger snapshot)")
     sub_args = _build_parser().parse_args(payload["argv"])
     # a `repro trace/sanitize <target>` run checkpoints under its target
     resolved = sub_args.command
     if resolved in ("trace", "sanitize"):
         resolved = "fig6" if sub_args.target == "nas" else sub_args.target
     if resolved != command:
-        raise SystemExit("error: resume: snapshot argv does not match its command")
+        raise _resume_error("snapshot argv does not match its command")
     sub_args._argv = list(payload["argv"])
     sub_args._resume_units = payload["units"]
     if getattr(sub_args, "no_fastpath", False):
@@ -486,6 +515,41 @@ def _cmd_resume(args) -> None:
 
         fastpath.set_enabled(False)
     _dispatch(sub_args)
+
+
+def _cmd_batch(args) -> None:
+    """Run a specfile of experiment jobs under the crash-tolerant batch
+    runner (``repro batch specs.json``) — see ``docs/batch_runner.md``."""
+    from repro.batch import (BatchError, BatchSupervisor, SpecError,
+                             load_specfile, parse_chaos)
+
+    try:
+        specs = load_specfile(args.specfile)
+    except SpecError as exc:
+        print(f"error: batch: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = parse_chaos(args.chaos, seed=args.chaos_seed)
+        except ValueError as exc:
+            print(f"error: --chaos: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+    _ensure_dir(args.out_dir, "--out-dir")
+    trace_out = getattr(args, "batch_trace_out", None)
+    if trace_out:
+        _ensure_parent_dir(trace_out, "--trace-out")
+    try:
+        supervisor = BatchSupervisor(
+            specs, args.out_dir, workers=args.jobs, timeout=args.timeout,
+            retries=args.retries, backoff=args.backoff, chaos=chaos,
+            resume=args.resume, trace_out=trace_out)
+        code = supervisor.run()
+    except BatchError as exc:
+        print(f"error: batch: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if code:
+        raise SystemExit(code)
 
 
 def _cmd_trace(args) -> None:
@@ -612,6 +676,7 @@ COMMANDS = {
     "resume": (_cmd_resume, "resume a checkpointed run from a snapshot"),
     "trace": (_cmd_trace, "run a figure driver with tracing on"),
     "sanitize": (_cmd_sanitize, "run a figure driver under the sanitizer"),
+    "batch": (_cmd_batch, "crash-tolerant batch runner for a JSON specfile"),
 }
 
 
@@ -694,6 +759,43 @@ def _build_parser() -> argparse.ArgumentParser:
             p.add_argument("snapshot",
                            help="snapshot file written by --checkpoint-every "
                                 "(e.g. checkpoints/latest.snap)")
+        if name == "batch":
+            p.add_argument("specfile",
+                           help="JSON specfile: a list of {id, command, "
+                                "args, timeout} job objects (see "
+                                "docs/batch_runner.md)")
+            p.add_argument("--out-dir", dest="out_dir", default="batch_out",
+                           metavar="DIR",
+                           help="batch work directory: job journal, per-job "
+                                "dirs, memoized results (default batch_out)")
+            p.add_argument("--jobs", type=int, default=2, metavar="N",
+                           help="worker pool size (default 2)")
+            p.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-job wall-clock budget; an overdue "
+                                "worker is SIGKILLed and the job retried "
+                                "(specs may override per job)")
+            p.add_argument("--retries", type=int, default=2, metavar="N",
+                           help="retry budget per job after a crash/"
+                                "timeout/failure (default 2)")
+            p.add_argument("--backoff", type=float, default=0.25,
+                           metavar="SECONDS",
+                           help="base retry delay; doubles per attempt "
+                                "(default 0.25)")
+            p.add_argument("--chaos", default=None, metavar="SPEC",
+                           help="seeded fault injection for the runner "
+                                "itself: kill-worker:p=P and/or stall:p=P "
+                                "(comma-separated)")
+            p.add_argument("--chaos-seed", dest="chaos_seed", type=int,
+                           default=0, help="chaos decision seed")
+            p.add_argument("--resume", action="store_true",
+                           help="continue an interrupted batch from its "
+                                "journal; completed jobs are served from "
+                                "the memo cache")
+            p.add_argument("--trace-out", dest="batch_trace_out",
+                           default=None, metavar="FILE",
+                           help="trace every job and merge the per-job "
+                                "timelines into one Chrome trace file")
         if name == "perf":
             p.add_argument("--quick", action="store_true",
                            help="smaller sweeps (the CI smoke configuration)")

@@ -1,0 +1,46 @@
+"""Small shared utilities with no simulation semantics.
+
+Currently one thing lives here: :func:`atomic_write`, the single
+implementation of the temp-file + ``fsync`` + ``os.replace`` pattern
+that :mod:`repro.checkpoint` (snapshot files), :mod:`repro.trace`
+(Chrome trace exports) and :mod:`repro.batch` (journal compaction,
+memoized result publication, batch reports) all rely on.  Readers of
+any of those files only ever observe a complete, fully-flushed file —
+a crash mid-write leaves the previous contents (or no file) behind,
+never a truncated one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Union
+
+
+def atomic_write(path: str, data: Union[bytes, str], *,
+                 prefix: str = ".tmp-") -> None:
+    """Atomically replace *path* with *data* (bytes or text).
+
+    The data is written to a temporary file in *path*'s directory
+    (created if needed), flushed and fsynced, then renamed over *path*
+    with ``os.replace`` — an atomic operation on POSIX and Windows.
+    On any failure the temporary file is removed and *path* is left
+    untouched.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=prefix, dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

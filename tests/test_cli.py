@@ -83,27 +83,30 @@ class TestFaultPlanFiles:
         assert f"fault plan: {plan}" in out
         assert "payload integrity: OK" in out
 
-    def test_malformed_json_file_exits_friendly(self, tmp_path):
+    def _expect_plan_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "error: --fault-plan:" in capsys.readouterr().err
+
+    def test_malformed_json_file_exits_friendly(self, tmp_path, capsys):
         plan = tmp_path / "plan.json"
         plan.write_text('{"link_loss": ')
-        with pytest.raises(SystemExit, match="--fault-plan"):
-            main(["faults", "--fault-plan", str(plan)])
+        self._expect_plan_error(["faults", "--fault-plan", str(plan)], capsys)
 
-    def test_unknown_knob_in_file_exits_friendly(self, tmp_path):
+    def test_unknown_knob_in_file_exits_friendly(self, tmp_path, capsys):
         plan = tmp_path / "plan.json"
         plan.write_text('{"link_sloth": 0.5}')
-        with pytest.raises(SystemExit, match="--fault-plan"):
-            main(["faults", "--fault-plan", str(plan)])
+        self._expect_plan_error(["faults", "--fault-plan", str(plan)], capsys)
 
-    def test_non_object_json_exits_friendly(self, tmp_path):
+    def test_non_object_json_exits_friendly(self, tmp_path, capsys):
         plan = tmp_path / "plan.json"
         plan.write_text('[0.5]')
-        with pytest.raises(SystemExit, match="--fault-plan"):
-            main(["faults", "--fault-plan", str(plan)])
+        self._expect_plan_error(["faults", "--fault-plan", str(plan)], capsys)
 
-    def test_missing_file_exits_friendly(self, tmp_path):
-        with pytest.raises(SystemExit, match="--fault-plan"):
-            main(["faults", "--fault-plan", str(tmp_path / "absent.json")])
+    def test_missing_file_exits_friendly(self, tmp_path, capsys):
+        self._expect_plan_error(
+            ["faults", "--fault-plan", str(tmp_path / "absent.json")], capsys)
 
     def test_inline_spec_still_works(self, capsys):
         assert main(["faults", "--fault-plan", "link_loss=0.02",
@@ -128,19 +131,90 @@ class TestCheckpointCLI:
         assert "IMB SendRecv" in captured.out
         assert "clean" in captured.err
 
-    def test_resume_rejects_garbage(self, tmp_path):
+    def test_resume_rejects_garbage(self, tmp_path, capsys):
         bogus = tmp_path / "bogus.snap"
         bogus.write_text("not a snapshot")
-        with pytest.raises(SystemExit, match="resume"):
+        with pytest.raises(SystemExit) as exc:
             main(["resume", str(bogus)])
+        assert exc.value.code == 2
+        assert "error: resume:" in capsys.readouterr().err
 
-    def test_resume_rejects_forensic_snapshots(self, tmp_path):
+    def test_resume_rejects_forensic_snapshots(self, tmp_path, capsys):
         from repro.checkpoint import write_snapshot
 
         path = tmp_path / "post.snap"
         write_snapshot(str(path), {"kind": "cluster", "quiescent": False})
-        with pytest.raises(SystemExit, match="not a run ledger"):
+        with pytest.raises(SystemExit) as exc:
             main(["resume", str(path)])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "error: resume:" in err and "not a run ledger" in err
+
+
+class TestSnapshotCorruption:
+    """Corrupt or truncated snapshots must produce a one-line exit-2
+    diagnostic on stderr — never a traceback (the crash-recovery path
+    routinely meets half-written files)."""
+
+    def _valid_snapshot(self, tmp_path):
+        ckdir = tmp_path / "ck"
+        assert main(["faults", "--checkpoint-every", "0",
+                     "--checkpoint-dir", str(ckdir)]) == 0
+        snap = ckdir / "latest.snap"
+        assert snap.exists()
+        return snap
+
+    def _expect_resume_error(self, snap, capsys, needle):
+        with pytest.raises(SystemExit) as exc:
+            main(["resume", str(snap)])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "error: resume:" in err
+        assert needle in err
+        assert "Traceback" not in err
+
+    def test_truncated_snapshot_exits_2(self, tmp_path, capsys):
+        snap = self._valid_snapshot(tmp_path)
+        capsys.readouterr()
+        data = snap.read_bytes()
+        snap.write_bytes(data[:len(data) - len(data) // 3])
+        self._expect_resume_error(snap, capsys, "truncated or corrupt")
+
+    def test_bitflipped_body_exits_2(self, tmp_path, capsys):
+        snap = self._valid_snapshot(tmp_path)
+        capsys.readouterr()
+        data = bytearray(snap.read_bytes())
+        data[-1] ^= 0xFF
+        snap.write_bytes(bytes(data))
+        self._expect_resume_error(snap, capsys, "truncated or corrupt")
+
+    def test_checksum_valid_unpicklable_body_exits_2(self, tmp_path, capsys):
+        import hashlib
+        import json
+
+        from repro.checkpoint import SCHEMA
+
+        # a snapshot whose manifest checks out but whose body is not a
+        # pickle (e.g. written by a build whose classes have moved)
+        body = b"\x80\x04not really a pickle"
+        manifest = {"schema": SCHEMA,
+                    "sha256": hashlib.sha256(body).hexdigest(),
+                    "payload_bytes": len(body), "meta": {}}
+        snap = tmp_path / "odd.snap"
+        snap.write_bytes(json.dumps(manifest).encode() + b"\n" + body)
+        self._expect_resume_error(snap, capsys, "cannot unpickle")
+
+    def test_missing_snapshot_exits_2(self, tmp_path, capsys):
+        self._expect_resume_error(tmp_path / "absent.snap", capsys,
+                                  "cannot read snapshot")
+
+    def test_wrong_payload_shape_exits_2(self, tmp_path, capsys):
+        from repro.checkpoint import write_snapshot
+
+        snap = tmp_path / "odd.snap"
+        write_snapshot(str(snap), {"kind": "run-ledger", "command": "faults",
+                                   "argv": "not-a-list", "units": {}})
+        self._expect_resume_error(snap, capsys, "argv/unit ledger")
 
 
 class TestTraceCLI:
@@ -218,3 +292,129 @@ class TestTraceCLI:
         assert main(["resume", str(ckdir / "latest.snap")]) == 0
         assert capsys.readouterr().out == first_stdout
         assert out.read_bytes() == first_trace
+
+
+# --- the exit-code contract ------------------------------------------------
+#
+# 0 = clean run, 2 = bad spec / failed preflight, 3 = sanitizer
+# violation.  One table, every entry exercised through main() the same
+# way, so a driver can't quietly drift to its own convention.
+
+def _clean_fig5(tmp_path):
+    return ["fig5"]
+
+
+def _clean_fig6(tmp_path):
+    return ["fig6", "--class", "W"]
+
+
+def _clean_nas(tmp_path):
+    return ["sanitize", "nas", "--class", "W"]
+
+
+def _clean_faults(tmp_path):
+    return ["faults", "--fault-plan", "link_loss=0.02", "--fault-seed", "7"]
+
+
+def _clean_sanitize(tmp_path):
+    return ["sanitize", "faults"]
+
+
+def _clean_resume(tmp_path):
+    ckdir = tmp_path / "ck"
+    assert main(["faults", "--checkpoint-every", "0",
+                 "--checkpoint-dir", str(ckdir)]) == 0
+    return ["resume", str(ckdir / "latest.snap")]
+
+
+def _clean_batch(tmp_path):
+    spec = tmp_path / "spec.json"
+    spec.write_text('[{"command": "fig4"}]')
+    return ["batch", str(spec), "--out-dir", str(tmp_path / "out"),
+            "--jobs", "1"]
+
+
+def _bad_fig5(tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    return ["fig5", "--checkpoint-every", "0",
+            "--checkpoint-dir", str(blocker / "ck")]
+
+
+def _bad_fig6(tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    return ["fig6", "--class", "W", "--trace-out",
+            str(blocker / "t.json")]
+
+
+def _bad_nas(tmp_path):
+    return ["sanitize", "nas", "--sanitize", "bogus-group"]
+
+
+def _bad_faults(tmp_path):
+    return ["faults", "--fault-plan", "link_sloth=0.5"]
+
+
+def _bad_sanitize(tmp_path):
+    return ["sanitize", "faults", "--sanitize", "bogus-group"]
+
+
+def _bad_resume(tmp_path):
+    snap = tmp_path / "bogus.snap"
+    snap.write_text("not a snapshot")
+    return ["resume", str(snap)]
+
+
+def _bad_batch(tmp_path):
+    spec = tmp_path / "spec.json"
+    spec.write_text('[{"command": "no-such-driver"}]')
+    return ["batch", str(spec), "--out-dir", str(tmp_path / "out")]
+
+
+_CONTRACT = [
+    ("fig5", _clean_fig5, _bad_fig5),
+    ("fig6", _clean_fig6, _bad_fig6),
+    ("nas", _clean_nas, _bad_nas),
+    ("faults", _clean_faults, _bad_faults),
+    ("sanitize", _clean_sanitize, _bad_sanitize),
+    ("resume", _clean_resume, _bad_resume),
+    ("batch", _clean_batch, _bad_batch),
+]
+
+
+class TestExitCodeContract:
+    @pytest.mark.parametrize("name,clean,_bad", _CONTRACT,
+                             ids=[c[0] for c in _CONTRACT])
+    def test_clean_run_exits_0(self, name, clean, _bad, tmp_path, capsys):
+        assert main(clean(tmp_path)) == 0
+
+    @pytest.mark.parametrize("name,_clean,bad", _CONTRACT,
+                             ids=[c[0] for c in _CONTRACT])
+    def test_bad_spec_exits_2(self, name, _clean, bad, tmp_path, capsys):
+        argv = bad(tmp_path)
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("target", ["fig5", "fig6", "nas", "faults"])
+    def test_sanitizer_violation_exits_3(self, target, monkeypatch, capsys):
+        from repro import cli, sanitize
+
+        resolved = "fig6" if target == "nas" else target
+
+        def violate(args):
+            raise sanitize.SanitizerError(
+                "heap.use-after-free", "synthetic violation for the "
+                "exit-code contract", address=0x1000, tick=1)
+
+        monkeypatch.setitem(cli.COMMANDS, resolved,
+                            (violate, cli.COMMANDS[resolved][1]))
+        with pytest.raises(SystemExit) as exc:
+            main(["sanitize", target])
+        assert exc.value.code == 3
+        err = capsys.readouterr().err
+        assert "sanitize[heap.use-after-free]" in err
+        assert "Traceback" not in err

@@ -14,6 +14,12 @@ caused exactly that:
     ``time.strftime``, ``datetime.now`` ...).  ``time.perf_counter`` /
     ``time.monotonic`` are allowed: they may *measure* a run but never
     feed simulated state.
+``wallclock-sleep``
+    Wall-clock waits and process signalling (``time.sleep``,
+    ``os.kill``, ``signal.alarm``) — real-time delays and signals have
+    no place in a simulated timeline.  The one legitimate home is the
+    batch runner's process supervision (``repro.batch``), which marks
+    each site with ``# detlint: ignore[wallclock-sleep]``.
 ``unseeded-random``
     The module-level ``random.*`` functions (global, unseeded RNG),
     ``random.Random()`` constructed without a seed, and ``numpy.random``
@@ -68,6 +74,8 @@ from typing import Dict, List, Optional
 
 RULES: Dict[str, str] = {
     "wallclock": "host clock/calendar read (time.time, datetime.now, ...)",
+    "wallclock-sleep": "wall-clock wait or process signal (time.sleep, "
+                       "os.kill, signal.alarm)",
     "unseeded-random": "global random.* / unseeded random.Random() / "
                        "numpy.random use",
     "set-iteration": "iteration over an unordered set literal or "
@@ -85,6 +93,9 @@ _WALLCLOCK = {
     "datetime.datetime.now", "datetime.datetime.utcnow",
     "datetime.datetime.today", "date.today", "datetime.date.today",
 }
+
+#: wall-clock waits and process signalling — real time leaking into a run
+_WALLCLOCK_SLEEP = {"time.sleep", "os.kill", "signal.alarm"}
 
 #: module-level random functions backed by the global (unseeded) RNG
 _GLOBAL_RANDOM = {
@@ -177,6 +188,12 @@ class _Linter(ast.NodeVisitor):
                 self._flag(node, "wallclock",
                            f"{dotted}() reads the host clock; simulation "
                            f"state must come from the tick clock or args")
+            elif dotted in _WALLCLOCK_SLEEP:
+                self._flag(node, "wallclock-sleep",
+                           f"{dotted}() waits on (or signals) the host in "
+                           f"real time; simulated delays belong on the tick "
+                           f"clock — only process supervision (repro.batch) "
+                           f"may suppress this")
             elif dotted in _GLOBAL_RANDOM:
                 self._flag(node, "unseeded-random",
                            f"{dotted}() uses the global unseeded RNG; use "
