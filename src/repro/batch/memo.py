@@ -8,36 +8,87 @@ atomically — a half-written result can never be served, and two
 concurrent publishers of the same key (a re-queued duplicate racing a
 crash-recovered original) simply replace each other with identical
 bytes.
+
+Lookups do not trust the cache blindly: every ``<key>.out`` is
+published with a ``<key>.sha256`` sidecar holding the digest of its
+bytes, and :meth:`MemoCache.lookup` re-hashes the file on every hit.
+A truncated, tampered or sidecar-less result is treated as a miss
+(the job simply re-runs and re-publishes) and counted under
+``memo.corrupt`` — so a single flipped bit on disk degrades to one
+redundant re-run instead of being served forever.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import Optional
-
-from repro.util import atomic_write
+from typing import Any, Optional
 
 
 class MemoCache:
-    """Filesystem result cache under ``<root>/results``."""
+    """Filesystem result cache under ``<root>/results``.
 
-    def __init__(self, root: str):
+    Pass a :class:`repro.analysis.counters.CounterSet` (or anything
+    with an ``add(name)`` method) as *counters* to have cache health
+    observable: ``memo.hit``, ``memo.miss`` and ``memo.corrupt``.
+    """
+
+    def __init__(self, root: str, counters: Optional[Any] = None):
         self.directory = os.path.join(root, "results")
+        self.counters = counters
         os.makedirs(self.directory, exist_ok=True)
+
+    def _count(self, name: str) -> None:
+        if self.counters is not None:
+            self.counters.add(name)
 
     def result_path(self, key: str) -> str:
         """Where *key*'s result bytes live (whether or not present)."""
         return os.path.join(self.directory, f"{key}.out")
 
+    def digest_path(self, key: str) -> str:
+        """Where *key*'s sha256 sidecar lives."""
+        return os.path.join(self.directory, f"{key}.sha256")
+
     def lookup(self, key: str) -> Optional[str]:
-        """The published result path for *key*, or None."""
+        """The *verified* published result path for *key*, or None.
+
+        Verification re-hashes the result bytes against the sidecar; a
+        missing sidecar or a digest mismatch is a miss (counted as
+        ``memo.corrupt``), never a served result.
+        """
         path = self.result_path(key)
-        return path if os.path.exists(path) else None
+        if not os.path.exists(path):
+            self._count("memo.miss")
+            return None
+        try:
+            with open(path, "rb") as fh:
+                digest = hashlib.sha256(fh.read()).hexdigest()
+            with open(self.digest_path(key), encoding="utf-8") as fh:
+                recorded = fh.read().strip()
+        except OSError:
+            self._count("memo.corrupt")
+            return None
+        if digest != recorded:
+            self._count("memo.corrupt")
+            return None
+        self._count("memo.hit")
+        return path
 
     def publish(self, key: str, stdout_path: str) -> str:
-        """Atomically publish the bytes of *stdout_path* under *key*."""
+        """Atomically publish the bytes of *stdout_path* under *key*.
+
+        The result file lands before its sidecar: a crash between the
+        two writes leaves a sidecar-less result, which :meth:`lookup`
+        treats as a miss — the retry republishes identical bytes.
+        """
+        from repro.util import atomic_write
+
         with open(stdout_path, "rb") as fh:
             data = fh.read()
         path = self.result_path(key)
         atomic_write(path, data, prefix=".result-")
+        atomic_write(self.digest_path(key),
+                     hashlib.sha256(data).hexdigest() + "\n",
+                     prefix=".result-")
         return path

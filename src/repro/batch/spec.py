@@ -27,9 +27,9 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 #: commands that may appear in a specfile: every experiment driver, but
-#: not the meta commands (nested batches, resume bookkeeping, the
-#: wall-clock perf harness)
-_DENIED_COMMANDS = {"batch", "resume", "perf", "list"}
+#: not the meta commands (nested batches/servers, resume bookkeeping,
+#: the wall-clock perf harness)
+_DENIED_COMMANDS = {"batch", "serve", "resume", "perf", "list"}
 
 
 class SpecError(Exception):
@@ -102,6 +102,37 @@ def _parse_job(obj: Any, index: int) -> JobSpec:
     return JobSpec(id=job_id, command=command, args=list(args), timeout=timeout)
 
 
+def parse_jobs_doc(doc: Any, where: str = "spec",
+                   next_index: int = 0) -> List[JobSpec]:
+    """Parse an already-decoded spec document (the shared core of
+    :func:`load_specfile` and the ``repro serve`` HTTP body parser).
+
+    *doc* is a single job object, a list of them, or ``{"jobs":
+    [...]}``; *next_index* seeds the default-id counter so a server
+    admitting jobs one request at a time still mints unique default
+    ids.  Raises :class:`SpecError` on any problem.
+    """
+    if isinstance(doc, dict) and "command" in doc:
+        doc = [doc]
+    elif isinstance(doc, dict):
+        if set(doc) != {"jobs"}:
+            raise SpecError(f"{where}: top-level object must have "
+                            "exactly one key, 'jobs' (or be a single job)")
+        doc = doc["jobs"]
+    if not isinstance(doc, list):
+        raise SpecError(f"{where}: expected a JSON list of job "
+                        "objects (or {{'jobs': [...]}})")
+    if not doc:
+        raise SpecError(f"{where}: no jobs")
+    specs = [_parse_job(obj, next_index + i) for i, obj in enumerate(doc)]
+    seen = set()
+    for spec in specs:
+        if spec.id in seen:
+            raise SpecError(f"duplicate job id {spec.id!r}")
+        seen.add(spec.id)
+    return specs
+
+
 def load_specfile(path: str) -> List[JobSpec]:
     """Parse *path*; raises :class:`SpecError` with a friendly message
     on any problem (the CLI converts that to exit code 2)."""
@@ -112,20 +143,4 @@ def load_specfile(path: str) -> List[JobSpec]:
         raise SpecError(f"cannot read specfile {path!r}: {exc}")
     except ValueError as exc:
         raise SpecError(f"specfile {path!r} is not valid JSON: {exc}")
-    if isinstance(doc, dict):
-        if set(doc) != {"jobs"}:
-            raise SpecError(f"specfile {path!r}: top-level object must have "
-                            "exactly one key, 'jobs'")
-        doc = doc["jobs"]
-    if not isinstance(doc, list):
-        raise SpecError(f"specfile {path!r}: expected a JSON list of job "
-                        "objects (or {{'jobs': [...]}})")
-    if not doc:
-        raise SpecError(f"specfile {path!r}: no jobs")
-    specs = [_parse_job(obj, i) for i, obj in enumerate(doc)]
-    seen = {}
-    for spec in specs:
-        if spec.id in seen:
-            raise SpecError(f"duplicate job id {spec.id!r}")
-        seen[spec.id] = spec
-    return specs
+    return parse_jobs_doc(doc, where=f"specfile {path!r}")

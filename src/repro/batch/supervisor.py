@@ -18,10 +18,13 @@ Robustness semantics:
   same budget, so a wedged event *loop* self-reports with a forensic
   post-mortem in the job directory; the supervisor's SIGKILL is the
   backstop for stalls outside the loop.
-* **Retry with exponential backoff** — a failed/killed/timed-out
-  attempt is re-queued after ``backoff * 2**(attempt-1)`` seconds, up
-  to ``--retries`` retries; after that the job is failed and the
-  batch exits 1 (completed jobs keep their results).
+* **Retry with exponential backoff** — a crashed/timed-out/transiently
+  failed attempt is re-queued after ``backoff * 2**(attempt-1)``
+  seconds, up to ``--retries`` retries; after that the job is failed
+  and the batch exits 1 (completed jobs keep their results).  Failures
+  are *classified* first (:func:`classify_exit`): a deterministic
+  exit 2 — bad spec, failed preflight — can never succeed on a retry,
+  so it fails fast after exactly one attempt.
 * **Crash recovery** — if a dead worker left a checkpoint snapshot,
   the retry runs ``repro resume <snapshot>`` and finishes from the
   last unit boundary instead of restarting; determinism makes the
@@ -31,8 +34,9 @@ Robustness semantics:
 * **Memoization** — before launching, the sha256 result cache is
   consulted; duplicate configs wait for the in-flight twin instead of
   racing it.
-* **Graceful SIGINT** — stop launching, SIGTERM (then SIGKILL) the
-  workers, journal the interruption, flush, exit 130; ``repro batch
+* **Graceful SIGINT/SIGTERM** — stop launching, SIGTERM (then SIGKILL)
+  the workers, journal the interruption, flush, exit 130 (SIGINT) or
+  143 (SIGTERM — what CI and container runtimes send); ``repro batch
   --resume`` continues without re-running completed jobs.
 
 This module is process management, not simulation — its
@@ -49,7 +53,7 @@ import signal
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.batch import journal as journal_mod
 from repro.batch import worker
@@ -62,9 +66,47 @@ from repro.util import atomic_write
 #: scheduler poll tick (wall seconds)
 POLL_S = 0.02
 
+#: exit codes that classify as *permanent*: retrying cannot change the
+#: outcome.  Exit 2 is the repo-wide "bad spec / failed preflight"
+#: contract — deterministic by definition.
+PERMANENT_EXITS = frozenset({2})
+
 
 class BatchError(Exception):
     """Raised for batch-level preflight problems (CLI exit 2)."""
+
+
+def classify_exit(code: Optional[int], timed_out: bool) -> Tuple[str, str]:
+    """Classify one finished attempt as ``(kind, reason)``.
+
+    *kind* drives the retry decision — the failure taxonomy shared by
+    the batch runner and the ``repro serve`` experiment service:
+
+    ``done``
+        Exit 0; publish the result.
+    ``timeout``
+        Killed by the supervisor's wall-clock budget; retry (from a
+        snapshot when one exists).
+    ``crash``
+        Killed by any other signal (SIGKILL, segfault, OOM); retry
+        (from a snapshot when one exists).
+    ``permanent``
+        A deterministic failure (exit 2: bad spec / failed preflight);
+        re-running the identical config must fail identically, so fail
+        fast — no retry, the budget is not consumed.
+    ``transient``
+        Any other nonzero exit; retry from scratch (a clean failure
+        while *resuming* additionally discards the suspect snapshot).
+    """
+    if code == 0:
+        return "done", "exit 0"
+    if code is not None and code < 0:
+        if timed_out:
+            return "timeout", "timeout"
+        return "crash", f"killed by signal {-code}"
+    if code in PERMANENT_EXITS:
+        return "permanent", f"exit {code} (permanent)"
+    return "transient", f"exit {code}"
 
 
 @dataclass
@@ -132,13 +174,17 @@ class BatchSupervisor:
         self.trace_out = trace_out
         self.stream = stream if stream is not None else sys.stderr
         self.journal_path = os.path.join(self.out_dir, "jobs.jsonl")
-        self.memo = MemoCache(self.out_dir)
+        from repro.analysis.counters import CounterSet
+
+        self.counters = CounterSet()
+        self.memo = MemoCache(self.out_dir, counters=self.counters)
         self.jobs: List[_Job] = [
             _Job(spec=spec, key=job_key(spec),
                  jobdir=os.path.join(self.out_dir, "jobs", spec.id))
             for spec in specs
         ]
         self.interrupted = False
+        self._signal = signal.SIGINT
         self._journal: Optional[Journal] = None
 
     # -- logging ------------------------------------------------------------
@@ -168,7 +214,7 @@ class BatchSupervisor:
                           "journal was written; re-running")
                 continue
             if state["status"] == "done" and state["result"] \
-                    and os.path.exists(state["result"]):
+                    and self.memo.lookup(job.key) is not None:
                 job.status = "done"
                 job.cached = True
                 job.outcome = "done (cached)"
@@ -251,29 +297,37 @@ class BatchSupervisor:
         code = proc.exitcode
         job.proc = None
         assert self._journal is not None
-        if code == 0:
+        kind, reason = classify_exit(code, job.timed_out)
+        if kind == "done":
             self._publish(job)
             return
         attempt = job.attempts - 1
-        if code is not None and code < 0:
-            if job.timed_out:
-                reason = "timeout"
+        if kind in ("crash", "timeout"):
+            if kind == "timeout":
                 job.timeouts += 1
             else:
-                reason = f"killed by signal {-code}"
                 job.crashes += 1
             self._journal.append({"ev": "killed", "job": job.spec.id,
                                   "attempt": attempt, "reason": reason})
         else:
-            reason = f"exit {code}"
             job.failures += 1
             self._journal.append({"ev": "failed", "job": job.spec.id,
-                                  "attempt": attempt, "exit": code})
+                                  "attempt": attempt, "exit": code,
+                                  "permanent": kind == "permanent"})
             if job.used_resume:
                 # the snapshot itself is suspect (clean failure while
                 # resuming); discard it and retry from scratch
                 shutil.rmtree(os.path.join(job.jobdir, worker.CKPT_DIRNAME),
                               ignore_errors=True)
+        if kind == "permanent":
+            # a deterministic failure re-fails identically on every
+            # retry; spending the backoff budget on it only delays the
+            # batch's verdict
+            job.status = "failed"
+            job.outcome = f"failed ({reason})"
+            self._log(f"job {job.spec.id} failed permanently ({reason}); "
+                      "not retrying a deterministic failure")
+            return
         snap_exists = os.path.exists(worker.snapshot_path(job.jobdir))
         if attempt < self.retries:
             delay = self.backoff * (2 ** attempt)
@@ -359,7 +413,8 @@ class BatchSupervisor:
                                   "attempt": job.attempts - 1,
                                   "reason": "interrupted"})
             job.outcome = "interrupted"
-        self._journal.append({"ev": "interrupted"})
+        self._journal.append({"ev": "interrupted",
+                              "signal": int(self._signal)})
         self._log("interrupted; journal flushed — continue with "
                   "`repro batch --resume`")
 
@@ -404,7 +459,7 @@ class BatchSupervisor:
 
     def run(self) -> int:
         """Run the batch; returns the process exit code (0 = all jobs
-        done, 1 = permanent failures, 130 = interrupted)."""
+        done, 1 = permanent failures, 130 = SIGINT, 143 = SIGTERM)."""
         from repro.analysis.report import batch_report
 
         if os.path.exists(self.journal_path) and not self.resume:
@@ -443,19 +498,28 @@ class BatchSupervisor:
         print(report)
         atomic_write(os.path.join(self.out_dir, "report.txt"), report + "\n",
                      prefix=".report-")
+        corrupt = self.counters.get("memo.corrupt")
+        if corrupt:
+            self._log(f"memo cache: {corrupt} corrupt result(s) detected, "
+                      "treated as misses and re-run")
         if self.interrupted:
-            return 130
+            return 143 if self._signal == signal.SIGTERM else 130
         return 0 if all(j.status == "done" for j in self.jobs) else 1
 
     def _run_loop(self) -> None:
-        def on_sigint(signum: int, frame: Any) -> None:
+        def on_signal(signum: int, frame: Any) -> None:
             self.interrupted = True
+            self._signal = signum
 
-        previous = None
-        try:
-            previous = signal.signal(signal.SIGINT, on_sigint)
-        except ValueError:
-            pass  # not the main thread (tests drive the loop directly)
+        previous = {}
+        # SIGTERM gets the same graceful shutdown as ^C: it is what CI
+        # cancellations and container runtimes actually deliver, and an
+        # unhandled one would kill the pool without flushing the journal
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, on_signal)
+            except ValueError:
+                pass  # not the main thread (tests drive the loop directly)
         try:
             while not self.interrupted:
                 self._reap_and_enforce()
@@ -464,5 +528,5 @@ class BatchSupervisor:
                 self._launch_eligible()
                 time.sleep(POLL_S)  # detlint: ignore[wallclock-sleep]
         finally:
-            if previous is not None:
-                signal.signal(signal.SIGINT, previous)
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)

@@ -1,0 +1,36 @@
+"""Crash-tolerant experiment service (``repro serve``).
+
+A long-lived HTTP front end over the :mod:`repro.batch` substrate:
+experiment specs are POSTed, durably journalled, executed on a bounded
+worker pool with classified retries, memoized by their sha256 config
+key, and survivable across SIGKILL — a restarted server replays its
+journal to the exact pre-crash queue state.
+
+:mod:`repro.serve.state`
+    Serve-side job state, the journal fold and its compaction rule.
+:mod:`repro.serve.service`
+    :class:`~repro.serve.service.ExperimentService`: admission control
+    (queue-depth and per-client caps), deadlines, full-jitter retry,
+    graceful drain, recovery, stats.
+:mod:`repro.serve.http`
+    The dependency-free asyncio HTTP/1.1 layer and signal handling.
+
+See ``docs/serving.md`` for the API, the durability and drain
+semantics, and the chaos-testing recipe.
+"""
+
+from repro.serve.service import (Busy, Conflict, Draining,
+                                 ExperimentService, Rejected, ServeError)
+from repro.serve.state import ServeJob, fold_serve, keep_records
+
+__all__ = [
+    "Busy",
+    "Conflict",
+    "Draining",
+    "ExperimentService",
+    "Rejected",
+    "ServeError",
+    "ServeJob",
+    "fold_serve",
+    "keep_records",
+]

@@ -1,0 +1,315 @@
+"""The asyncio HTTP/1.1 front end for ``repro serve``.
+
+A deliberately small, dependency-free server: one connection = one
+request = one response (``Connection: close``), which keeps the
+protocol surface auditable and makes client-disconnect detection
+trivial — while a handler awaits a job, it also awaits EOF on the
+socket, and whichever happens first wins.
+
+Endpoints
+=========
+
+``POST /jobs``
+    Admit an experiment spec (the ``repro.batch.spec`` schema: a
+    single job object, a list, or ``{"jobs": [...]}``).  Admission is
+    journalled before the response is written.  ``?wait=1`` blocks
+    until the job(s) finish.  Headers: ``X-Client`` names the client
+    for the per-client in-flight cap; ``X-Deadline`` is a relative
+    deadline in seconds.  Rejections: 400 malformed spec, 409 id
+    conflict, 429 over the queue/client cap (with ``Retry-After``),
+    503 draining.
+``GET /jobs`` / ``GET /jobs/<id>`` / ``GET /jobs/<id>/result``
+    Queue listing, one job's state, one job's published result bytes.
+``GET /healthz`` / ``GET /readyz`` / ``GET /stats``
+    Liveness (always 200 while the process runs), readiness (503 once
+    draining — the load-balancer signal), and the counter-backed
+    stats document.
+
+Real sockets and real time are this module's whole job; the
+determinism lint suppressions below mark that boundary explicitly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from typing import Any, Dict, Optional, Tuple
+
+from repro.batch.spec import SpecError
+from repro.serve.service import ExperimentService, Rejected
+from repro.util import atomic_write
+
+#: request line + headers are capped; experiment specs are small and an
+#: unbounded read is an admission-control hole
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+def _response(status: int, body: bytes, content_type: str,
+              extra: Optional[Dict[str, str]] = None) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    for key, value in (extra or {}).items():
+        lines.append(f"{key}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, doc: Any,
+                   extra: Optional[Dict[str, str]] = None) -> bytes:
+    body = json.dumps(doc, sort_keys=True, indent=2).encode("utf-8") + b"\n"
+    return _response(status, body, "application/json", extra)
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request: (method, path, headers, body)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionResetError("client closed before a request")
+        raise _HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise _HttpError(413, "request head too large")
+    if len(head) > MAX_HEADER_BYTES:
+        raise _HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _HttpError(400, f"malformed request line {lines[0]!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_s = headers.get("content-length", "0")
+    try:
+        length = int(length_s)
+    except ValueError:
+        raise _HttpError(400, f"bad Content-Length {length_s!r}")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"body of {length} bytes exceeds the "
+                              f"{MAX_BODY_BYTES}-byte cap")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+class ServeApp:
+    """Routes HTTP requests onto an :class:`ExperimentService`."""
+
+    def __init__(self, service: ExperimentService):
+        self.service = service
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        svc = self.service
+        try:
+            try:
+                method, path, headers, body = await _read_request(reader)
+            except _HttpError as exc:
+                writer.write(_json_response(exc.status,
+                                            {"error": str(exc)}))
+                await writer.drain()
+                return
+            except (ConnectionResetError, asyncio.IncompleteReadError):
+                return
+            svc.counters.add("serve.http.requests")
+            try:
+                payload = await self._route(method, path, headers, body,
+                                            reader)
+            except _HttpError as exc:
+                payload = _json_response(exc.status, {"error": str(exc)})
+            except Rejected as exc:
+                extra = {}
+                if exc.retry_after is not None:
+                    extra["Retry-After"] = str(int(max(1, exc.retry_after)))
+                payload = _json_response(exc.status, {"error": str(exc)},
+                                         extra)
+            except SpecError as exc:
+                payload = _json_response(400, {"error": str(exc)})
+            except _Disconnected:
+                return  # nobody left to answer
+            except Exception as exc:  # pragma: no cover - defensive
+                svc.counters.add("serve.http.errors")
+                payload = _json_response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"})
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(self, method: str, path: str, headers: Dict[str, str],
+                     body: bytes, reader: asyncio.StreamReader) -> bytes:
+        path, _, query = path.partition("?")
+        if path == "/healthz":
+            return _json_response(200, {"ok": True})
+        if path == "/readyz":
+            if self.service.draining:
+                return _json_response(
+                    503, {"ready": False, "draining": True,
+                          "reason": self.service.drain_reason})
+            return _json_response(200, {"ready": True, "draining": False})
+        if path == "/stats":
+            return _json_response(200, self.service.stats())
+        if path == "/jobs" and method == "POST":
+            return await self._submit(headers, body, query, reader)
+        if path == "/jobs" and method == "GET":
+            jobs = sorted(self.service.jobs.values(), key=lambda j: j.seq)
+            return _json_response(200, {"jobs": [j.as_dict() for j in jobs]})
+        if path.startswith("/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            rest = path[len("/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            job = self.service.jobs.get(job_id)
+            if job is None:
+                raise _HttpError(404, f"no job {job_id!r}")
+            if tail == "result":
+                return self._result(job)
+            if tail:
+                raise _HttpError(404, f"no such resource {path!r}")
+            return _json_response(200, job.as_dict())
+        raise _HttpError(404, f"no such resource {path!r}")
+
+    def _result(self, job: Any) -> bytes:
+        if job.status != "done" or job.result is None:
+            raise _HttpError(404, f"job {job.spec.id!r} has no result "
+                                  f"(status {job.status})")
+        try:
+            with open(job.result, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            raise _HttpError(500, f"result unreadable: {exc}")
+        return _response(200, data, "text/plain; charset=utf-8")
+
+    async def _submit(self, headers: Dict[str, str], body: bytes,
+                      query: str, reader: asyncio.StreamReader) -> bytes:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}")
+        client = headers.get("x-client", "anonymous")
+        deadline_s: Optional[float] = None
+        if "x-deadline" in headers:
+            try:
+                deadline_s = float(headers["x-deadline"])
+            except ValueError:
+                raise _HttpError(400, f"bad X-Deadline "
+                                      f"{headers['x-deadline']!r}")
+        jobs = self.service.submit(doc, client=client,
+                                   deadline_s=deadline_s)
+        wait = "wait=1" in query.split("&") if query else False
+        if wait:
+            await self._wait_or_disconnect(jobs, reader)
+        status = 200
+        doc_out = {"jobs": [j.as_dict() for j in jobs],
+                   "queue_depth": self.service.depth()}
+        return _json_response(status, doc_out)
+
+    async def _wait_or_disconnect(self, jobs: Any,
+                                  reader: asyncio.StreamReader) -> None:
+        """Block until every job finishes — or the client hangs up.
+
+        The disconnect watch is an EOF read on the request socket: the
+        client sent its whole request, so any read completing means it
+        went away.  An abandoned wait releases the client's in-flight
+        slots (the jobs keep running into the memo cache).
+        """
+        wait_tasks = {asyncio.ensure_future(self.service.wait_finished(j))
+                      for j in jobs if not j.terminal}
+        if not wait_tasks:
+            return
+        eof_task = asyncio.ensure_future(reader.read(1))
+        try:
+            while wait_tasks:
+                finished, _ = await asyncio.wait(
+                    wait_tasks | {eof_task},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if eof_task in finished:
+                    for job in jobs:
+                        self.service.abandon(job.spec.id)
+                    raise _Disconnected()
+                wait_tasks -= finished
+        finally:
+            eof_task.cancel()
+            for task in wait_tasks:
+                task.cancel()
+
+
+class _Disconnected(Exception):
+    """The waiting client hung up mid-request."""
+
+
+async def run_server(service: ExperimentService, host: str, port: int,
+                     stream: Optional[Any] = None) -> int:
+    """Open the service, bind, serve until drain completes; the
+    ``repro serve`` event loop.  Returns the process exit code (0 for
+    a graceful drain, 1 if any job failed permanently)."""
+    service.open()
+    app = ServeApp(service)
+    server = await asyncio.start_server(  # detlint: ignore[socket-io] — the HTTP layer's whole job
+        app.handle, host=host, port=port)
+    bound = server.sockets[0].getsockname()
+    addr = f"{bound[0]}:{bound[1]}"
+    # --port 0 picks an ephemeral port; publish the bound address so
+    # clients (and the chaos tests) can find it
+    atomic_write(os.path.join(service.out_dir, "serve.addr"), addr + "\n",
+                 prefix=".addr-")
+    if stream is not None:
+        print(f"serve: listening on http://{addr} "
+              f"(journal {service.journal_path})", file=stream)
+
+    loop = asyncio.get_running_loop()
+    # SIGTERM (the orchestrator's stop) and SIGINT (^C) both mean the
+    # same thing here: drain gracefully, flush the journal, exit 0
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(
+            signum, service.begin_drain, signal.Signals(signum).name)
+    try:
+        await service.run_scheduler()
+    finally:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.remove_signal_handler(signum)
+        server.close()
+        await server.wait_closed()
+        service.close()
+        # a clean drain retires the address file so a restart's clients
+        # never dial the dead port; a crash leaves it stale on purpose
+        # (the journal, not the addr file, is the source of truth)
+        try:
+            os.unlink(os.path.join(service.out_dir, "serve.addr"))
+        except OSError:
+            pass
+    failed = sum(1 for j in service.jobs.values() if j.status == "failed")
+    if stream is not None:
+        print(f"serve: drained ({service.drain_reason or 'idle'}); "
+              f"{failed} job(s) failed", file=stream)
+    return 0

@@ -1,0 +1,678 @@
+"""The crash-tolerant experiment service behind ``repro serve``.
+
+:class:`ExperimentService` is the robustness core, independent of any
+HTTP front end (the asyncio HTTP layer in :mod:`repro.serve.http` is a
+thin adapter over it — which is also what makes the admission and
+recovery semantics unit-testable without sockets):
+
+* **Durable queueing** — every admission is journalled (WAL, fsynced)
+  before it is acknowledged, into a long-lived *compacting* journal
+  (:class:`repro.batch.journal.CompactingJournal`).  A SIGKILLed
+  server replays the journal on restart to the exact pre-crash queue
+  state: done jobs stay done (verified against the memo cache), queued
+  jobs stay queued, running jobs re-queue (resuming from their last
+  checkpoint snapshot when one exists), and nothing is ever run twice
+  after publishing.
+* **Bounded admission** — a queue-depth cap (429 + Retry-After) and a
+  per-client in-flight cap.  Overload is refused at the door, not
+  discovered as collapse.
+* **Deadlines** — a request's wall-clock deadline travels with the
+  job: expired-in-queue jobs are *rejected without running*, and a
+  running job's worker inherits ``min(job timeout, remaining
+  deadline)`` as its kill budget.
+* **Classified retries with full-jitter backoff** — crash/timeout
+  retries resume from snapshots; deterministic exit-2 failures fail
+  fast (:func:`repro.batch.supervisor.classify_exit`); transient
+  failures retry from scratch.  Backoff delays are
+  ``uniform(0, base * 2**attempt)`` from a seeded RNG — full jitter,
+  so a burst of same-shaped failures does not re-converge into a
+  thundering herd.
+* **Graceful drain** — ``begin_drain`` stops admissions and launches,
+  lets in-flight work finish (or checkpoint) within a drain deadline,
+  SIGKILLs what remains (their journal state re-queues them on the
+  next start), compacts and flushes the journal, and the process
+  exits 0.
+* **Memoization** — determinism makes the sha256 result cache exact,
+  so duplicate submissions are answered without spawning a worker,
+  and verified against their digest sidecar on every hit.
+
+This module manages real time and real processes — the documented
+escape hatch from the determinism lint, marked per line below.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import random
+import shutil
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.counters import CounterSet
+from repro.batch import journal as journal_mod
+from repro.batch import worker
+from repro.batch.chaos import ChaosPlan
+from repro.batch.journal import CompactingJournal
+from repro.batch.memo import MemoCache
+from repro.batch.spec import JobSpec, SpecError, job_key, parse_jobs_doc
+from repro.batch.supervisor import POLL_S, classify_exit
+from repro.serve import state as state_mod
+from repro.serve.state import (DONE, FAILED, QUEUED, REJECTED, RUNNING,
+                               SCHEMA, ServeJob)
+from repro.util import atomic_write
+
+
+class ServeError(Exception):
+    """Raised for serve-level preflight problems (CLI exit 2)."""
+
+
+class Rejected(Exception):
+    """An admission refused by policy; carries the HTTP shape."""
+
+    status = 429
+    retry_after: Optional[float] = None
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        if retry_after is not None:
+            self.retry_after = retry_after
+
+
+class Busy(Rejected):
+    """Queue depth or client cap exceeded → 429 + Retry-After."""
+
+
+class Draining(Rejected):
+    """The service is draining: no new admissions → 503."""
+
+    status = 503
+
+
+class Conflict(Rejected):
+    """A job id resubmitted with a different config → 409."""
+
+    status = 409
+
+
+class ExperimentService:
+    """Admission, durable queueing, supervision and drain for the
+    experiment server.  One instance per ``repro serve`` process."""
+
+    def __init__(
+        self,
+        out_dir: str,
+        workers: int = 2,
+        queue_cap: int = 64,
+        client_cap: int = 8,
+        retries: int = 2,
+        backoff: float = 0.25,
+        retry_seed: int = 0,
+        timeout: Optional[float] = None,
+        drain_timeout: float = 30.0,
+        chaos: Optional[ChaosPlan] = None,
+        resume: bool = False,
+        stream: Optional[Any] = None,
+    ):
+        if workers < 1:
+            raise ServeError("worker pool size must be >= 1")
+        if queue_cap < 1:
+            raise ServeError("queue cap must be >= 1")
+        if client_cap < 1:
+            raise ServeError("per-client cap must be >= 1")
+        if retries < 0:
+            raise ServeError("retry budget must be >= 0")
+        if drain_timeout <= 0:
+            raise ServeError("drain timeout must be > 0")
+        self.out_dir = os.path.abspath(out_dir)
+        self.workers = workers
+        self.queue_cap = queue_cap
+        self.client_cap = client_cap
+        self.retries = retries
+        self.backoff = backoff
+        self.default_timeout = timeout
+        self.drain_timeout = drain_timeout
+        self.chaos = chaos
+        self.resume = resume
+        self.stream = stream
+        self.journal_path = os.path.join(self.out_dir, "serve.jsonl")
+        self.counters = CounterSet()
+        self.memo: Optional[MemoCache] = None
+        self.jobs: Dict[str, ServeJob] = {}
+        self.draining = False
+        self.drain_reason = ""
+        self._drain_deadline: Optional[float] = None
+        self._journal: Optional[CompactingJournal] = None
+        self._rng = random.Random(retry_seed)
+        self._seq = 0
+        self._started_wall = 0.0
+        self._started_mono = 0.0
+        self._spans: List[Dict[str, Any]] = []
+
+    # -- logging ------------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        if self.stream is not None:
+            print(f"serve: {message}", file=self.stream)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open(self) -> None:
+        """Preflight, replay the journal (``--resume``) and start
+        appending.  After ``open`` returns, the queue state is exactly
+        what the journal says it should be."""
+        if os.path.exists(self.journal_path) and not self.resume:
+            raise ServeError(
+                f"journal {self.journal_path!r} already exists; pass "
+                "--resume to continue that service's queue or choose a "
+                "fresh --out-dir")
+        os.makedirs(self.out_dir, exist_ok=True)
+        self.memo = MemoCache(self.out_dir, counters=self.counters)
+        self._started_wall = time.time()  # detlint: ignore[wallclock] — request deadlines are real time
+        self._started_mono = time.monotonic()
+        recovered = self.resume and os.path.exists(self.journal_path)
+        if recovered:
+            self._recover()
+        self._journal = CompactingJournal(
+            self.journal_path, fold_keep=state_mod.keep_records,
+            header=lambda: {"ev": "serve-start", "schema": SCHEMA,
+                            "compacted": True})
+        self._journal.append({"ev": "serve-start", "schema": SCHEMA,
+                              "resumed": recovered,
+                              "recovered_jobs": len(self.jobs)})
+        if recovered:
+            self._reject_expired(note="expired while the server was down")
+            self._journal.compact_now()
+            queued = sum(1 for j in self.jobs.values()
+                         if j.status == QUEUED)
+            self._log(f"recovered {len(self.jobs)} job(s) from the journal "
+                      f"({queued} re-queued)")
+
+    def _recover(self) -> None:
+        """Rebuild the queue from the journal (crash or restart)."""
+        assert self.memo is not None
+        try:
+            records, torn = journal_mod.read_journal(self.journal_path)
+        except journal_mod.JournalError as exc:
+            raise ServeError(f"--resume: {exc}")
+        if torn:
+            self._log("journal had a torn final record (crash mid-append); "
+                      "dropped it")
+        for job_id, st in sorted(state_mod.fold_serve(records).items(),
+                                 key=lambda kv: kv[1]["seq"]):
+            if not st["command"]:
+                continue  # a record set without its submission (corrupt)
+            spec = JobSpec(id=job_id, command=st["command"],
+                           args=list(st["args"]), timeout=st["timeout"])
+            job = ServeJob(
+                spec=spec, key=st["key"] or job_key(spec),
+                jobdir=os.path.join(self.out_dir, "jobs", job_id),
+                client=st["client"], seq=st["seq"],
+                attempts=st["attempts"], cached=st["cached"],
+                detail=st["detail"], deadline_wall=st["deadline_wall"],
+                submitted_mono=time.monotonic(),
+                waiter=asyncio.Event())
+            self._seq = max(self._seq, st["seq"] + 1)
+            status = st["status"]
+            if status == DONE and self.memo.lookup(job.key) is not None:
+                job.status = DONE
+                job.result = self.memo.result_path(job.key)
+                job.waiter.set()
+            elif status in (FAILED, REJECTED):
+                job.status = status
+                job.waiter.set()
+            else:
+                # queued, running-at-crash, or done-with-missing/corrupt
+                # result: owed an answer — re-queue, resuming from a
+                # snapshot when the dead attempt left one behind
+                job.status = QUEUED
+                job.resume_next = os.path.exists(
+                    worker.snapshot_path(job.jobdir))
+                if status == DONE:
+                    self._log(f"job {job_id!r} was done but its result is "
+                              "missing/corrupt; re-running")
+            self.jobs[job_id] = job
+
+    def close(self) -> None:
+        """Flush and compact the journal, write the request timeline,
+        print the shutdown report."""
+        if self._journal is not None:
+            done = sum(1 for j in self.jobs.values() if j.status == DONE)
+            self._journal.append({"ev": "serve-stop", "done": done,
+                                  "draining": self.draining,
+                                  "reason": self.drain_reason})
+            self._journal.compact_now()
+            self._journal.close()
+            self._journal = None
+        self._write_spans()
+        if self.stream is not None and self.jobs:
+            print(self.report(), file=self.stream)
+
+    def report(self) -> str:
+        """The shutdown report (``repro.analysis.report.serve_report``)."""
+        from repro.analysis.report import serve_report
+
+        rows = [j.as_dict() for j in
+                sorted(self.jobs.values(), key=lambda j: j.seq)]
+        return serve_report(rows, self.counters.snapshot())
+
+    # -- admission ----------------------------------------------------------
+
+    def depth(self) -> int:
+        """Queue depth: jobs admitted but not yet terminal."""
+        return sum(1 for j in self.jobs.values() if j.live)
+
+    def client_inflight(self, client: str) -> int:
+        """Live jobs charged to *client* (abandoned waits excluded)."""
+        return sum(1 for j in self.jobs.values()
+                   if j.live and j.client == client
+                   and not j.client_released)
+
+    def _retry_after(self) -> float:
+        """A Retry-After estimate: one backoff base, floored at 1s."""
+        return max(1.0, round(self.backoff, 1))
+
+    def submit(self, doc: Any, client: str = "anonymous",
+               deadline_s: Optional[float] = None) -> List[ServeJob]:
+        """Admit the job(s) in *doc* (a single job object, a list, or
+        ``{"jobs": [...]}``; the ``repro.batch.spec`` schema).
+
+        Raises :class:`Draining` (503) during drain, :class:`Busy`
+        (429) when the queue-depth or per-client cap would be
+        exceeded, :class:`Conflict` (409) on an id collision with a
+        different config, and :class:`repro.batch.spec.SpecError`
+        (400) on a malformed spec.  On success every admitted job is
+        journalled before this returns — an acknowledged admission
+        survives any crash.
+        """
+        assert self._journal is not None and self.memo is not None
+        if self.draining:
+            self.counters.add("serve.rejected.draining")
+            raise Draining("service is draining; no new admissions",
+                           retry_after=self.drain_timeout)
+        if deadline_s is not None and deadline_s <= 0:
+            raise SpecError("deadline must be a positive number of seconds")
+        specs = parse_jobs_doc(doc, where="request", next_index=self._seq)
+        fresh = []
+        for spec in specs:
+            existing = self.jobs.get(spec.id)
+            if existing is not None:
+                if existing.key != job_key(spec):
+                    self.counters.add("serve.rejected.conflict")
+                    raise Conflict(
+                        f"job id {spec.id!r} already exists with a "
+                        "different config")
+                continue  # idempotent resubmission
+            fresh.append(spec)
+        if self.depth() + len(fresh) > self.queue_cap:
+            self.counters.add("serve.rejected.backpressure")
+            raise Busy(f"queue is full ({self.depth()}/{self.queue_cap} "
+                       "in flight)", retry_after=self._retry_after())
+        if self.client_inflight(client) + len(fresh) > self.client_cap:
+            self.counters.add("serve.rejected.client_cap")
+            raise Busy(f"client {client!r} is at its in-flight cap "
+                       f"({self.client_cap})",
+                       retry_after=self._retry_after())
+        now_wall = time.time()  # detlint: ignore[wallclock] — deadline arithmetic
+        out = []
+        for spec in specs:
+            existing = self.jobs.get(spec.id)
+            if existing is not None:
+                out.append(existing)
+                continue
+            job = ServeJob(
+                spec=spec, key=job_key(spec),
+                jobdir=os.path.join(self.out_dir, "jobs", spec.id),
+                client=client, seq=self._seq,
+                deadline_wall=(now_wall + deadline_s
+                               if deadline_s is not None else None),
+                submitted_wall=now_wall,
+                submitted_mono=time.monotonic(),
+                waiter=asyncio.Event())
+            self._seq += 1
+            self.jobs[spec.id] = job
+            self._journal.append(job.submitted_record())
+            self.counters.add("serve.submitted")
+            cached = self.memo.lookup(job.key)
+            if cached is not None:
+                # a memo hit is answered at admission: no queue slot,
+                # no worker, no wait
+                self._finish(job, DONE, cached=True, result=cached)
+            out.append(job)
+        return out
+
+    def abandon(self, job_id: str) -> None:
+        """A waiting client disconnected: release its in-flight slot.
+
+        The job itself keeps running — its result still lands in the
+        memo cache, so the next submission of the same config is a
+        free hit.
+        """
+        job = self.jobs.get(job_id)
+        if job is not None and not job.client_released:
+            job.client_released = True
+            self.counters.add("serve.disconnects")
+            self._log(f"client {job.client!r} abandoned job "
+                      f"{job.spec.id}; slot released, job continues")
+
+    # -- terminal transitions ------------------------------------------------
+
+    def _finish(self, job: ServeJob, status: str, *, cached: bool = False,
+                result: Optional[str] = None, detail: str = "") -> None:
+        assert self._journal is not None
+        job.status = status
+        job.cached = cached
+        job.result = result
+        job.detail = detail
+        job.finished_mono = time.monotonic()
+        if status == DONE:
+            self._journal.append({"ev": "done", "job": job.spec.id,
+                                  "key": job.key, "cached": cached,
+                                  "result": result})
+            self.counters.add("serve.completed")
+            if cached:
+                self.counters.add("serve.memo_served")
+        elif status == FAILED:
+            self._journal.append({"ev": "failed", "job": job.spec.id,
+                                  "reason": detail})
+            self.counters.add("serve.failed")
+        else:
+            self._journal.append({"ev": "rejected", "job": job.spec.id,
+                                  "reason": detail})
+            self.counters.add("serve.rejected.deadline")
+        self._record_span(job)
+        if job.waiter is not None:
+            job.waiter.set()
+
+    def _record_span(self, job: ServeJob) -> None:
+        """One Chrome trace span per request: admission → terminal."""
+        t0 = max(0.0, job.submitted_mono - self._started_mono)
+        t1 = max(t0, job.finished_mono - self._started_mono)
+        self._spans.append({
+            "name": f"{job.spec.command}:{job.spec.id}",
+            "cat": "serve.request",
+            "ph": "X",
+            "ts": int(t0 * 1e6),
+            "dur": int((t1 - t0) * 1e6),
+            "pid": 1,
+            "tid": (job.seq % 32) + 1,
+            "args": {
+                "client": job.client,
+                "key": job.key[:12],
+                "status": job.status,
+                "attempts": job.attempts,
+                "cached": job.cached,
+            },
+        })
+
+    def _write_spans(self) -> None:
+        from repro.trace import wall_clock_doc
+
+        doc = wall_clock_doc(
+            self._spans,
+            other={"service": "repro serve",
+                   "counters": self.counters.snapshot()})
+        atomic_write(os.path.join(self.out_dir, "serve_trace.json"),
+                     __import__("json").dumps(doc, sort_keys=True,
+                                              separators=(",", ":")) + "\n",
+                     prefix=".trace-")
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _running(self) -> List[ServeJob]:
+        return [j for j in self.jobs.values() if j.status == RUNNING]
+
+    def _queued_in_order(self) -> List[ServeJob]:
+        return sorted((j for j in self.jobs.values() if j.status == QUEUED),
+                      key=lambda j: j.seq)
+
+    def _reject_expired(self, note: str = "deadline expired in queue") -> None:
+        now = time.time()  # detlint: ignore[wallclock] — deadline arithmetic
+        for job in self._queued_in_order():
+            if job.deadline_wall is not None and now >= job.deadline_wall:
+                self._finish(job, REJECTED, detail=note)
+                self._log(f"job {job.spec.id} rejected: {note}")
+
+    def _spawn(self, job: ServeJob) -> None:
+        assert self._journal is not None
+        os.makedirs(job.jobdir, exist_ok=True)
+        use_resume = job.resume_next and os.path.exists(
+            worker.snapshot_path(job.jobdir))
+        spec = job.spec
+        args = list(spec.args)
+        timeout = spec.timeout if spec.timeout is not None \
+            else self.default_timeout
+        if job.deadline_wall is not None:
+            remaining = max(0.1, job.deadline_wall - time.time())  # detlint: ignore[wallclock]
+            timeout = remaining if timeout is None \
+                else min(timeout, remaining)
+        if timeout is not None and spec.command in worker.CHECKPOINTABLE \
+                and "--hang-timeout" not in args:
+            args += ["--hang-timeout", str(timeout)]
+        argv = worker.build_attempt_argv(spec.command, args, job.jobdir,
+                                         use_resume)
+        job.chaos_action = (self.chaos.decide(job.key, job.attempts)
+                            if self.chaos is not None else None)
+        self._journal.append({"ev": "running", "job": spec.id,
+                              "attempt": job.attempts,
+                              "resume": use_resume,
+                              "chaos": job.chaos_action})
+        proc = multiprocessing.Process(
+            target=worker.worker_entry,
+            args=(job.jobdir, argv, job.chaos_action, spec.command),
+            daemon=True, name=f"repro-serve-{spec.id}")
+        proc.start()
+        job.proc = proc
+        job.status = RUNNING
+        job.used_resume = use_resume
+        job.timed_out = False
+        job.started_at = time.monotonic()
+        job.kill_deadline = (job.started_at + timeout) if timeout else None
+        job.attempts += 1
+        how = "resumed from snapshot" if use_resume else "started"
+        self._log(f"job {spec.id} attempt {job.attempts} {how} "
+                  f"(pid {proc.pid})")
+
+    def _kill(self, job: ServeJob, reason: str) -> None:
+        proc = job.proc
+        if proc is not None and proc.is_alive():
+            proc.kill()  # detlint: ignore[wallclock-sleep]
+            proc.join(timeout=5.0)
+        if reason == "timeout":
+            job.timed_out = True
+
+    def _handle_exit(self, job: ServeJob) -> None:
+        assert self._journal is not None and self.memo is not None
+        proc = job.proc
+        assert proc is not None
+        proc.join()
+        code = proc.exitcode
+        job.proc = None
+        kind, reason = classify_exit(code, job.timed_out)
+        if kind == "done":
+            stdout = os.path.join(job.jobdir, worker.STDOUT_NAME)
+            result = self.memo.publish(job.key, stdout)
+            self._finish(job, DONE, result=result)
+            self._log(f"job {job.spec.id} done "
+                      f"(attempt {job.attempts}, result {result})")
+            return
+        attempt = job.attempts - 1
+        if kind in ("crash", "timeout"):
+            if kind == "timeout":
+                job.timeouts += 1
+                self.counters.add("serve.timeouts")
+            else:
+                job.crashes += 1
+                self.counters.add("serve.crashes")
+            self._journal.append({"ev": "killed", "job": job.spec.id,
+                                  "attempt": attempt, "reason": reason})
+        else:
+            job.failures += 1
+            self._journal.append({"ev": "failed_attempt",
+                                  "job": job.spec.id, "attempt": attempt,
+                                  "exit": code,
+                                  "permanent": kind == "permanent"})
+            if job.used_resume:
+                shutil.rmtree(os.path.join(job.jobdir, worker.CKPT_DIRNAME),
+                              ignore_errors=True)
+        if kind == "permanent":
+            self.counters.add("serve.failed.permanent")
+            self._finish(job, FAILED, detail=f"failed ({reason})")
+            self._log(f"job {job.spec.id} failed permanently ({reason}); "
+                      "deterministic failures are not retried")
+            return
+        expired = job.deadline_wall is not None \
+            and time.time() >= job.deadline_wall  # detlint: ignore[wallclock]
+        if expired:
+            self._finish(job, FAILED,
+                         detail=f"deadline exceeded after {reason}")
+            self._log(f"job {job.spec.id} failed: deadline exceeded")
+            return
+        snap_exists = os.path.exists(worker.snapshot_path(job.jobdir))
+        if attempt < self.retries:
+            # full jitter: uniform over [0, base * 2^attempt] — retries
+            # of a correlated failure burst spread instead of re-aligning
+            delay = self._rng.uniform(0.0, self.backoff * (2 ** attempt))
+            job.eligible_at = time.monotonic() + delay
+            job.resume_next = snap_exists
+            job.status = QUEUED
+            self.counters.add("serve.retries")
+            self._journal.append({"ev": "retry", "job": job.spec.id,
+                                  "attempt": attempt + 1,
+                                  "backoff_s": round(delay, 6),
+                                  "resume": snap_exists})
+            self._log(f"job {job.spec.id} attempt {attempt + 1} failed "
+                      f"({reason}); retrying in {delay:.2f}s"
+                      + (" from snapshot" if snap_exists else ""))
+        else:
+            self.counters.add("serve.failed.exhausted")
+            self._finish(job, FAILED,
+                         detail=f"failed ({reason}, budget exhausted)")
+            self._log(f"job {job.spec.id} failed permanently after "
+                      f"{job.attempts} attempt(s): {reason}")
+
+    def _reap_and_enforce(self) -> None:
+        now = time.monotonic()
+        for job in self._running():
+            proc = job.proc
+            assert proc is not None
+            if proc.exitcode is None and job.kill_deadline is not None \
+                    and now >= job.kill_deadline:
+                self._log(f"job {job.spec.id} exceeded its wall-clock "
+                          "budget; killing worker")
+                self._kill(job, "timeout")
+            if proc.exitcode is not None:
+                self._handle_exit(job)
+
+    def _launch_eligible(self) -> None:
+        assert self.memo is not None
+        free = self.workers - len(self._running())
+        now = time.monotonic()
+        running_keys = {j.key for j in self._running()}
+        for job in self._queued_in_order():
+            if free <= 0:
+                break
+            if now < job.eligible_at:
+                continue
+            cached = self.memo.lookup(job.key)
+            if cached is not None:
+                self._finish(job, DONE, cached=True, result=cached)
+                self._log(f"job {job.spec.id} served from the memo cache")
+                continue
+            if job.key in running_keys:
+                continue  # an identical config is in flight; wait for it
+            self._spawn(job)
+            running_keys.add(job.key)
+            free -= 1
+
+    def tick(self) -> None:
+        """One scheduler iteration (reap, expire, launch)."""
+        self._reap_and_enforce()
+        if not self.draining:
+            self._reject_expired()
+            self._launch_eligible()
+
+    # -- drain ---------------------------------------------------------------
+
+    def begin_drain(self, reason: str) -> None:
+        """Flip to draining: no new admissions, no new launches;
+        in-flight jobs get :attr:`drain_timeout` seconds to finish."""
+        if self.draining:
+            return
+        self.draining = True
+        self.drain_reason = reason
+        self._drain_deadline = time.monotonic() + self.drain_timeout
+        self.counters.add("serve.drains")
+        if self._journal is not None:
+            self._journal.append({"ev": "drain", "reason": reason})
+        self._log(f"draining ({reason}): {len(self._running())} in-flight "
+                  f"job(s), {self.depth() - len(self._running())} queued — "
+                  "queued jobs will resume on the next start")
+
+    def _drain_expired(self) -> bool:
+        return self._drain_deadline is not None \
+            and time.monotonic() >= self._drain_deadline
+
+    def _kill_all_running(self, reason: str) -> None:
+        assert self._journal is not None
+        for job in self._running():
+            self._kill(job, reason)
+            proc = job.proc
+            if proc is not None:
+                proc.join()
+                job.proc = None
+            # journalled as killed, not failed: the job is still owed
+            # an answer and re-queues (from its snapshot) on restart
+            self._journal.append({"ev": "killed", "job": job.spec.id,
+                                  "attempt": job.attempts - 1,
+                                  "reason": reason})
+            job.status = QUEUED
+            self._log(f"job {job.spec.id} killed at the drain deadline; "
+                      "it will resume on the next start")
+
+    async def run_scheduler(self) -> None:
+        """The scheduler loop: drive :meth:`tick` until drain
+        completes.  Returns when the service should exit."""
+        while True:
+            self.tick()
+            if self.draining:
+                if not self._running():
+                    break
+                if self._drain_expired():
+                    self._kill_all_running("drain-deadline")
+                    break
+            await asyncio.sleep(POLL_S)
+
+    # -- observability -------------------------------------------------------
+
+    async def wait_finished(self, job: ServeJob,
+                            timeout: Optional[float] = None) -> bool:
+        """Await *job* reaching a terminal state; False on timeout."""
+        assert job.waiter is not None
+        if timeout is None:
+            await job.waiter.wait()
+            return True
+        try:
+            await asyncio.wait_for(job.waiter.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` document, backed by the counter layer."""
+        by_status: Dict[str, int] = {}
+        for job in self.jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "counters": self.counters.snapshot(),
+            "queue": {
+                "depth": self.depth(),
+                "cap": self.queue_cap,
+                "by_status": dict(sorted(by_status.items())),
+            },
+            "workers": self.workers,
+            "running": len(self._running()),
+            "draining": self.draining,
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
+        }

@@ -1,0 +1,211 @@
+"""Serve-side job state and the serve journal's fold/compaction logic.
+
+The service journal (``serve.jsonl``) reuses the batch WAL machinery
+(:mod:`repro.batch.journal`) with its own schema and a richer event
+vocabulary — a *submission* carries the client identity and the
+request's absolute wall-clock deadline, because a restarted server
+must know whether a recovered job is still worth running.  Unlike the
+batch journal (which is deterministic-clock-clean), serve records do
+carry wall-clock timestamps: the service is the repository's one
+module whose job *is* real time — deadlines, backoff, drain — and the
+determinism lint's suppressions in :mod:`repro.serve` document that
+boundary.
+
+The fold (:func:`fold_serve`) is total: any journal prefix — including
+one torn by SIGKILL — folds to a well-defined queue state, and
+:func:`keep_records` re-emits the *minimal* record list that folds to
+the same state, which is what :class:`repro.batch.journal.
+CompactingJournal` uses to keep a long-lived journal O(live jobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.batch.spec import JobSpec
+
+#: serve journal schema tag, recorded in every serve-start line
+SCHEMA = "repro-serve-journal/1"
+
+#: job states; ``rejected`` is terminal-without-running (expired in
+#: queue, or cancelled by policy) — a rejected job was *never* executed
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+REJECTED = "rejected"
+
+TERMINAL = (DONE, FAILED, REJECTED)
+
+
+@dataclass
+class ServeJob:
+    """The in-memory state of one submitted experiment."""
+
+    spec: JobSpec
+    key: str
+    jobdir: str
+    client: str = "anonymous"
+    seq: int = 0
+    status: str = QUEUED
+    attempts: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    cached: bool = False
+    detail: str = ""
+    result: Optional[str] = None
+    #: absolute wall-clock deadline (None = no deadline); journalled so
+    #: a restart can reject jobs that expired while the server was down
+    deadline_wall: Optional[float] = None
+    submitted_wall: float = 0.0
+    submitted_mono: float = 0.0
+    finished_mono: float = 0.0
+    #: scheduling state (monotonic clock; never journalled)
+    eligible_at: float = 0.0
+    resume_next: bool = False
+    used_resume: bool = False
+    timed_out: bool = False
+    chaos_action: Optional[str] = None
+    started_at: float = 0.0
+    kill_deadline: Optional[float] = None
+    #: True once a waiting client disconnected: the job keeps running
+    #: (its result still lands in the memo cache) but stops counting
+    #: against the client's in-flight cap
+    client_released: bool = False
+    proc: Optional[Any] = field(default=None, repr=False)
+    waiter: Optional[Any] = field(default=None, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+    @property
+    def live(self) -> bool:
+        return self.status in (QUEUED, RUNNING)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The job's public (HTTP) representation."""
+        out: Dict[str, Any] = {
+            "id": self.spec.id,
+            "command": self.spec.command,
+            "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
+            "cached": self.cached,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        if self.result:
+            out["result"] = f"/jobs/{self.spec.id}/result"
+        return out
+
+    def submitted_record(self) -> Dict[str, Any]:
+        """The journal record that reconstructs this submission."""
+        return {
+            "ev": "submitted",
+            "job": self.spec.id,
+            "seq": self.seq,
+            "key": self.key,
+            "command": self.spec.command,
+            "args": list(self.spec.args),
+            "timeout": self.spec.timeout,
+            "client": self.client,
+            "deadline_wall": self.deadline_wall,
+        }
+
+
+def fold_serve(records: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Fold serve journal *records* into per-job end states.
+
+    Returns ``{job_id: state}`` where *state* carries everything needed
+    to rebuild the queue: the spec fields, client, deadline, ``status``
+    (``queued``/``running``/``done``/``failed``/``rejected``),
+    ``attempts``, ``result``, ``cached`` and ``detail``.  A job caught
+    ``running`` by a crash (or ``killed`` by a drain deadline) folds
+    back to a re-runnable state — the restart decides whether to
+    resume it from its snapshot, re-run it, or reject it as expired.
+    """
+    jobs: Dict[str, Dict[str, Any]] = {}
+
+    def slot(job_id: str) -> Dict[str, Any]:
+        return jobs.setdefault(job_id, {
+            "seq": 0, "key": None, "command": None, "args": [],
+            "timeout": None, "client": "anonymous", "deadline_wall": None,
+            "status": QUEUED, "attempts": 0, "result": None,
+            "cached": False, "detail": "",
+        })
+
+    for rec in records:
+        ev = rec.get("ev")
+        job_id = rec.get("job")
+        if not isinstance(job_id, str):
+            continue
+        state = slot(job_id)
+        if ev == "submitted":
+            for key in ("seq", "key", "command", "args", "timeout",
+                        "client", "deadline_wall"):
+                if key in rec:
+                    state[key] = rec[key]
+        elif ev == "running":
+            state["status"] = RUNNING
+            state["attempts"] = max(state["attempts"],
+                                    int(rec.get("attempt", 0)) + 1)
+        elif ev == "retry":
+            state["status"] = QUEUED
+        elif ev == "killed":
+            # drain-deadline or crash cleanup: the attempt died but the
+            # job is still owed an answer — it re-queues on restart
+            state["status"] = QUEUED
+        elif ev == "done":
+            state["status"] = DONE
+            state["result"] = rec.get("result")
+            state["cached"] = bool(rec.get("cached", False))
+            if rec.get("key"):
+                state["key"] = rec["key"]
+        elif ev == "failed":
+            state["status"] = FAILED
+            state["detail"] = str(rec.get("reason", ""))
+        elif ev == "rejected":
+            state["status"] = REJECTED
+            state["detail"] = str(rec.get("reason", ""))
+    return jobs
+
+
+def keep_records(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The minimal record list that folds to the same state as
+    *records* — the compaction function for the serve journal.
+
+    Per job (in submission order): its ``submitted`` record; a
+    ``running`` record when attempts were consumed (so retry ordinals
+    and attempt counts survive compaction, terminal or not); a
+    ``retry`` record when it was re-queued; and its terminal record
+    when it reached one.
+    """
+    folded = fold_serve(records)
+    keep: List[Dict[str, Any]] = []
+    for job_id, state in sorted(folded.items(), key=lambda kv: kv[1]["seq"]):
+        keep.append({
+            "ev": "submitted", "job": job_id, "seq": state["seq"],
+            "key": state["key"], "command": state["command"],
+            "args": state["args"], "timeout": state["timeout"],
+            "client": state["client"],
+            "deadline_wall": state["deadline_wall"],
+        })
+        if state["attempts"] > 0:
+            keep.append({"ev": "running", "job": job_id,
+                         "attempt": state["attempts"] - 1})
+            if state["status"] == QUEUED:
+                keep.append({"ev": "retry", "job": job_id})
+        if state["status"] == DONE:
+            keep.append({"ev": "done", "job": job_id, "key": state["key"],
+                         "cached": state["cached"],
+                         "result": state["result"]})
+        elif state["status"] == FAILED:
+            keep.append({"ev": "failed", "job": job_id,
+                         "reason": state["detail"]})
+        elif state["status"] == REJECTED:
+            keep.append({"ev": "rejected", "job": job_id,
+                         "reason": state["detail"]})
+    return keep

@@ -194,6 +194,69 @@ class TestJournal:
         assert [r["ev"] for r in records] == ["batch-start", "done"]
 
 
+class TestCompactingJournal:
+    @staticmethod
+    def _keep_latest(records):
+        # toy fold: keep only each job's last record
+        latest = {}
+        for rec in records:
+            if "job" in rec:
+                latest[rec["job"]] = rec
+        return list(latest.values())
+
+    def test_auto_compacts_every_n_appends(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        with journal_mod.CompactingJournal(
+                str(path), fold_keep=self._keep_latest,
+                header=lambda: {"ev": "start"}, every=4) as j:
+            for i in range(9):
+                j.append({"ev": "tick", "job": "a", "n": i})
+        records, torn = read_journal(str(path))
+        assert not torn
+        # two compactions happened (at 4 and 8); the 9th append remains
+        assert [r["ev"] for r in records] == ["start", "tick", "tick"]
+        assert records[-1]["n"] == 8
+
+    def test_bounded_size_under_sustained_appends(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        with journal_mod.CompactingJournal(
+                str(path), fold_keep=self._keep_latest, every=8) as j:
+            for i in range(200):
+                j.append({"ev": "tick", "job": "a", "n": i})
+            high_water = path.stat().st_size
+        # 200 appends, but the file never holds more than a compaction
+        # window: one folded record plus up to `every` fresh lines
+        assert high_water < 9 * 60
+
+    def test_journal_stays_replayable_after_compaction(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        with journal_mod.CompactingJournal(
+                str(path), fold_keep=self._keep_latest, every=2) as j:
+            j.append({"ev": "a", "job": "x"})
+            j.append({"ev": "b", "job": "x"})  # compacts here
+            j.append({"ev": "c", "job": "y"})
+        records, torn = read_journal(str(path))
+        assert not torn
+        assert self._keep_latest(records) == [
+            {"ev": "b", "job": "x"}, {"ev": "c", "job": "y"}]
+
+    def test_compact_now_is_idempotent(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        with journal_mod.CompactingJournal(
+                str(path), fold_keep=self._keep_latest, every=100) as j:
+            j.append({"ev": "a", "job": "x"})
+            assert j.compact_now() == 1
+            assert j.compact_now() == 1
+        records, _ = read_journal(str(path))
+        assert records == [{"ev": "a", "job": "x"}]
+
+    def test_rejects_bad_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            journal_mod.CompactingJournal(
+                str(tmp_path / "j.jsonl"),
+                fold_keep=self._keep_latest, every=0)
+
+
 # --- chaos plans -----------------------------------------------------------
 
 
@@ -247,6 +310,50 @@ class TestMemoCache:
         assert cache.lookup("k" * 64) == path
         assert Path(path).read_text() == "result bytes\n"
 
+    def test_publish_writes_digest_sidecar(self, tmp_path):
+        import hashlib
+
+        cache = MemoCache(str(tmp_path))
+        src = tmp_path / "stdout.txt"
+        src.write_text("result bytes\n")
+        cache.publish("k" * 64, str(src))
+        sidecar = Path(cache.digest_path("k" * 64))
+        assert sidecar.read_text().strip() \
+            == hashlib.sha256(b"result bytes\n").hexdigest()
+
+    def test_tampered_result_is_a_counted_miss(self, tmp_path):
+        from repro.analysis.counters import CounterSet
+
+        counters = CounterSet()
+        cache = MemoCache(str(tmp_path), counters=counters)
+        src = tmp_path / "stdout.txt"
+        src.write_text("good bytes\n")
+        key = "k" * 64
+        path = cache.publish(key, str(src))
+        Path(path).write_bytes(b"flipped bit\n")  # corrupt on disk
+        assert cache.lookup(key) is None
+        assert counters.snapshot()["memo.corrupt"] == 1
+        # a re-publish (the re-run's output) heals the entry
+        cache.publish(key, str(src))
+        assert cache.lookup(key) == path
+        assert counters.snapshot()["memo.hit"] == 1
+
+    def test_sidecarless_result_is_a_counted_miss(self, tmp_path):
+        from repro.analysis.counters import CounterSet
+
+        counters = CounterSet()
+        cache = MemoCache(str(tmp_path), counters=counters)
+        key = "k" * 64
+        # a crash between result and sidecar writes leaves exactly this
+        Path(cache.result_path(key)).write_text("orphan\n")
+        assert cache.lookup(key) is None
+        assert counters.snapshot()["memo.corrupt"] == 1
+
+    def test_counters_are_optional(self, tmp_path):
+        cache = MemoCache(str(tmp_path))
+        Path(cache.result_path("k" * 64)).write_text("orphan\n")
+        assert cache.lookup("k" * 64) is None  # no counter, no crash
+
 
 # --- attempt argv construction ---------------------------------------------
 
@@ -282,6 +389,25 @@ FAST_SPECS = [
     {"id": "faults-7", "command": "faults",
      "args": ["--fault-plan", "link_loss=0.02", "--fault-seed", "7"]},
 ]
+
+
+class TestClassifyExit:
+    def test_taxonomy(self):
+        from repro.batch import classify_exit
+
+        assert classify_exit(0, False) == ("done", "exit 0")
+        assert classify_exit(-9, False) == ("crash", "killed by signal 9")
+        assert classify_exit(-9, True) == ("timeout", "timeout")
+        assert classify_exit(2, False) == ("permanent", "exit 2 (permanent)")
+        assert classify_exit(1, False)[0] == "transient"
+        assert classify_exit(3, False)[0] == "transient"
+
+    def test_exit_2_is_permanent_even_without_timeout_flag(self):
+        from repro.batch import classify_exit
+
+        kind, reason = classify_exit(2, False)
+        assert kind == "permanent"
+        assert "2" in reason
 
 
 def _write_specs(tmp_path, docs, name="spec.json"):
@@ -358,19 +484,40 @@ class TestBatchRuns:
         assert rows[0]["timeouts"] == 1 and rows[0]["outcome"] == "done"
 
     def test_permanent_failure_exits_1_with_warning(self, tmp_path, capsys):
+        # exit 2 (bad spec) is deterministic: it must fail fast after
+        # exactly ONE attempt, never burning the retry budget on a
+        # failure that cannot change
         specs = _write_specs(tmp_path, [
             {"command": "fig4"},
             {"id": "doomed", "command": "faults",
              "args": ["--fault-plan", "link_sloth=1"]},
         ])
-        code, sup = _run(specs, tmp_path / "out", retries=1, backoff=0.05)
+        code, sup = _run(specs, tmp_path / "out", retries=3, backoff=0.05)
         assert code == 1
         report = capsys.readouterr().out
         assert "WARNING" in report and "1 job(s) failed permanently" in report
         rows = {r["job"]: r for r in sup.report_rows()}
-        assert rows["doomed"]["outcome"] == "failed (exit 2)"
-        assert rows["doomed"]["attempts"] == 2
+        assert rows["doomed"]["outcome"] == "failed (exit 2 (permanent))"
+        assert rows["doomed"]["attempts"] == 1
+        assert rows["doomed"]["retries"] == 0
         assert rows["job-000-fig4"]["outcome"] == "done"
+        records, _ = read_journal(str(tmp_path / "out" / "jobs.jsonl"))
+        fails = [r for r in records if r["ev"] == "failed"]
+        assert len(fails) == 1 and fails[0]["permanent"] is True
+        assert not any(r["ev"] == "retry" for r in records)
+
+    def test_transient_failure_still_retries(self, tmp_path, capsys):
+        # classification sanity: exit 1 (here: payload corrupted by an
+        # always-corrupting link after retry exhaustion is exit 1 — use
+        # a plan that makes the run abort cleanly) must keep retrying
+        specs = _write_specs(tmp_path, [
+            {"id": "flaky", "command": "faults",
+             "args": ["--fault-plan", "link_loss=1.0"]},
+        ])
+        code, sup = _run(specs, tmp_path / "out", retries=1, backoff=0.05)
+        assert code == 1
+        rows = sup.report_rows()
+        assert rows[0]["attempts"] == 2  # transient: budget consumed
 
     def test_duplicate_configs_served_from_memo_cache(self, tmp_path, capsys):
         specs = _write_specs(tmp_path, [
@@ -533,3 +680,64 @@ class TestSigintShutdown:
         assert finish.returncode == 0, finish.stderr
         assert "2 done" in finish.stdout
         assert len(_result_bytes(out_dir)) == 2
+
+    def test_sigterm_drains_like_sigint_with_exit_143(self, tmp_path):
+        # SIGTERM is what orchestrators send; it must get the same
+        # graceful teardown as ^C, distinguished only by exit 143
+        specs = _write_specs(tmp_path, [
+            {"command": "fig4"},
+            {"id": "wedged", "command": "faults", "timeout": 300},
+        ])
+        out_dir = tmp_path / "out"
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "batch", specs,
+             "--out-dir", str(out_dir), "--jobs", "2",
+             "--chaos", "stall:p=1.0", "--timeout", "300"],
+            env=env, cwd=str(tmp_path),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        deadline = time.monotonic() + 30.0
+        journal = out_dir / "jobs.jsonl"
+        while time.monotonic() < deadline:
+            if journal.exists() and '"ev":"running"' in journal.read_text():
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            pytest.fail("batch never started a worker")
+        time.sleep(0.3)
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=30)
+        assert proc.returncode == 143, stderr
+        assert "interrupted" in stderr
+        records, _torn = read_journal(str(journal))
+        interrupted = [r for r in records if r.get("ev") == "interrupted"]
+        assert interrupted and interrupted[-1]["signal"] == signal.SIGTERM
+        finish = subprocess.run(
+            [sys.executable, "-m", "repro", "batch", specs,
+             "--out-dir", str(out_dir), "--jobs", "2", "--resume"],
+            env=env, cwd=str(tmp_path), capture_output=True, text=True,
+            timeout=60)
+        assert finish.returncode == 0, finish.stderr
+        assert "2 done" in finish.stdout
+        assert len(_result_bytes(out_dir)) == 2
+
+
+class TestMemoVerificationInBatch:
+    def test_corrupted_done_result_reruns_on_resume(self, tmp_path, capsys):
+        specs = _write_specs(tmp_path, FAST_SPECS[:1])
+        code, _ = _run(specs, tmp_path / "out")
+        assert code == 0
+        results = list((tmp_path / "out" / "results").glob("*.out"))
+        assert len(results) == 1
+        good = results[0].read_bytes()
+        results[0].write_bytes(b"bit rot\n")
+        capsys.readouterr()
+        code, sup = _run(specs, tmp_path / "out", resume=True)
+        assert code == 0
+        row = sup.report_rows()[0]
+        # not served from cache: the corrupt entry forced a re-run,
+        # which republished the identical bytes
+        assert row["attempts"] == 1 and not row["cached"]
+        assert results[0].read_bytes() == good
+        assert sup.counters.snapshot().get("memo.corrupt", 0) >= 1

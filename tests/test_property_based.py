@@ -289,8 +289,11 @@ class TestFaultInjectionProperties:
         assert payloads == base_payloads
         assert ticks >= base_ticks
         if counters.get("faults.link.dropped", 0):
+            # every drop must surface as a retry; it need not surface
+            # as extra ticks — a retransmission that fits entirely
+            # inside the pipeline's overlap window costs zero wall
+            # ticks, and hypothesis does find such schedules
             assert counters.get("faults.qp.retries", 0) >= 1
-            assert ticks > base_ticks
 
 
 class TestAddressSpaceProperties:

@@ -1,0 +1,853 @@
+"""``repro serve``: admission control, durable queueing, deadlines,
+disconnects, drain — and the kill-server chaos recovery guarantee.
+
+Three layers of coverage:
+
+* pure unit tests of the journal fold/compaction (:mod:`repro.serve.
+  state`) and synchronous service tests that drive the scheduler by
+  hand (no sockets, no event loop);
+* end-to-end asyncio tests against a real in-process HTTP server on an
+  ephemeral port (backpressure, deadlines, conflict, disconnect,
+  drain, the soak test);
+* subprocess tests of the real ``repro serve`` CLI: SIGKILL the server
+  mid-batch, restart with ``--resume``, and assert the replayed run's
+  results are byte-identical to an undisturbed baseline.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.batch import parse_chaos
+from repro.batch.journal import read_journal
+from repro.batch.spec import SpecError, job_key
+from repro.serve import (Busy, Conflict, Draining, ExperimentService,
+                         ServeError, fold_serve, keep_records)
+from repro.serve.http import ServeApp
+from repro.serve.state import DONE, QUEUED, REJECTED, RUNNING
+
+REPO = Path(__file__).resolve().parent.parent
+
+FAST_JOB = {"command": "breakdown", "args": ["--mb", "1"]}
+#: a job wedged by stall chaos: occupies a worker until killed
+STALL_CHAOS = parse_chaos("stall:p=1.0", seed=0)
+
+
+# --- journal fold / compaction ---------------------------------------------
+
+
+class TestFoldServe:
+    SUBMIT = {"ev": "submitted", "job": "j1", "seq": 0, "key": "k" * 64,
+              "command": "fig4", "args": [], "timeout": None,
+              "client": "c1", "deadline_wall": 12345.0}
+
+    def test_submission_then_done(self):
+        folded = fold_serve([
+            self.SUBMIT,
+            {"ev": "running", "job": "j1", "attempt": 0},
+            {"ev": "done", "job": "j1", "key": "k" * 64,
+             "result": "/r.out", "cached": False},
+        ])
+        st = folded["j1"]
+        assert st["status"] == DONE
+        assert st["attempts"] == 1
+        assert st["client"] == "c1"
+        assert st["deadline_wall"] == 12345.0
+
+    def test_crash_mid_run_folds_back_to_runnable(self):
+        # a journal that simply *ends* while running is what SIGKILL
+        # leaves behind; the fold must keep the job re-runnable
+        folded = fold_serve([
+            self.SUBMIT,
+            {"ev": "running", "job": "j1", "attempt": 0},
+        ])
+        assert folded["j1"]["status"] == RUNNING
+        assert folded["j1"]["attempts"] == 1
+
+    def test_killed_and_retry_requeue(self):
+        folded = fold_serve([
+            self.SUBMIT,
+            {"ev": "running", "job": "j1", "attempt": 0},
+            {"ev": "killed", "job": "j1", "attempt": 0,
+             "reason": "drain-deadline"},
+        ])
+        assert folded["j1"]["status"] == QUEUED
+        folded = fold_serve([
+            self.SUBMIT,
+            {"ev": "running", "job": "j1", "attempt": 0},
+            {"ev": "retry", "job": "j1", "attempt": 1},
+        ])
+        assert folded["j1"]["status"] == QUEUED
+        assert folded["j1"]["attempts"] == 1
+
+    def test_keep_records_fold_to_same_state(self):
+        history = [
+            self.SUBMIT,
+            {"ev": "running", "job": "j1", "attempt": 0},
+            {"ev": "retry", "job": "j1", "attempt": 1},
+            {"ev": "running", "job": "j1", "attempt": 1},
+            {"ev": "done", "job": "j1", "key": "k" * 64,
+             "result": "/r.out", "cached": False},
+            dict(self.SUBMIT, job="j2", seq=1),
+            {"ev": "running", "job": "j2", "attempt": 0},
+            {"ev": "killed", "job": "j2", "attempt": 0, "reason": "x"},
+        ]
+        keep = keep_records(history)
+        assert fold_serve(keep) == fold_serve(history)
+        # j1's two attempts compact to one running line; live j2 keeps
+        # its retry marker so it re-queues (not re-runs-as-attempt-0)
+        assert [r["ev"] for r in keep if r["job"] == "j1"] \
+            == ["submitted", "running", "done"]
+        assert [r["ev"] for r in keep if r["job"] == "j2"] \
+            == ["submitted", "running", "retry"]
+
+
+# --- synchronous service tests (no sockets) --------------------------------
+
+
+def _service(out_dir, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("backoff", 0.05)
+    return ExperimentService(str(out_dir), **kwargs)
+
+
+def _drive(service, pred, timeout=60.0):
+    """Tick the scheduler until *pred*() holds (wall-clock bounded)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        service.tick()
+        if pred():
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"scheduler never reached the expected state; "
+                         f"jobs: {[(j.spec.id, j.status) for j in service.jobs.values()]}")
+
+
+def _all_terminal(service):
+    return lambda: all(j.terminal for j in service.jobs.values())
+
+
+class TestServiceCore:
+    def test_submit_run_publish(self, tmp_path):
+        svc = _service(tmp_path / "out")
+        svc.open()
+        (job,) = svc.submit(dict(FAST_JOB, id="j1"))
+        assert job.status == QUEUED
+        _drive(svc, _all_terminal(svc))
+        assert job.status == DONE and job.attempts == 1
+        assert Path(job.result).read_bytes()
+        svc.close()
+        records, torn = read_journal(svc.journal_path)
+        assert not torn
+        assert fold_serve(records)["j1"]["status"] == DONE
+
+    def test_duplicate_key_served_from_memo_without_second_run(self, tmp_path):
+        svc = _service(tmp_path / "out")
+        svc.open()
+        svc.submit(dict(FAST_JOB, id="a"))
+        _drive(svc, _all_terminal(svc))
+        (dup,) = svc.submit(dict(FAST_JOB, id="b"))
+        # answered at admission: no queue slot, no worker
+        assert dup.status == DONE and dup.cached and dup.attempts == 0
+        assert svc.counters.snapshot()["serve.memo_served"] == 1
+        svc.close()
+
+    def test_identical_configs_in_flight_run_once(self, tmp_path):
+        svc = _service(tmp_path / "out", workers=4)
+        svc.open()
+        jobs = svc.submit([dict(FAST_JOB, id=f"j{i}") for i in range(4)])
+        assert len({j.key for j in jobs}) == 1
+        _drive(svc, _all_terminal(svc))
+        # one spawn; the other three were deduplicated onto its result
+        assert sum(j.attempts for j in jobs) == 1
+        assert all(j.status == DONE for j in jobs)
+        svc.close()
+
+    def test_queue_cap_rejects_with_busy(self, tmp_path):
+        svc = _service(tmp_path / "out", queue_cap=2, client_cap=100)
+        svc.open()
+        svc.submit([{"id": "a", "command": "fig4"},
+                    {"id": "b", "command": "fig3"}])
+        with pytest.raises(Busy) as exc:
+            svc.submit({"id": "c", "command": "pingpong"})
+        assert exc.value.status == 429
+        assert exc.value.retry_after is not None
+        assert svc.counters.snapshot()["serve.rejected.backpressure"] == 1
+        svc.close()
+
+    def test_client_cap_is_per_client(self, tmp_path):
+        svc = _service(tmp_path / "out", client_cap=1, queue_cap=100)
+        svc.open()
+        svc.submit({"id": "a", "command": "fig4"}, client="alice")
+        with pytest.raises(Busy):
+            svc.submit({"id": "b", "command": "fig3"}, client="alice")
+        # a different client is unaffected
+        svc.submit({"id": "c", "command": "fig3"}, client="bob")
+        svc.close()
+
+    def test_abandon_releases_client_slot(self, tmp_path):
+        svc = _service(tmp_path / "out", client_cap=1, queue_cap=100)
+        svc.open()
+        svc.submit({"id": "a", "command": "fig4"}, client="alice")
+        svc.abandon("a")
+        assert svc.client_inflight("alice") == 0
+        # the freed slot admits alice's next job; the first still runs
+        svc.submit({"id": "b", "command": "fig3"}, client="alice")
+        assert svc.counters.snapshot()["serve.disconnects"] == 1
+        _drive(svc, _all_terminal(svc))
+        assert all(j.status == DONE for j in svc.jobs.values())
+        svc.close()
+
+    def test_conflicting_resubmission_409_idempotent_200(self, tmp_path):
+        svc = _service(tmp_path / "out")
+        svc.open()
+        svc.submit(dict(FAST_JOB, id="a"))
+        (same,) = svc.submit(dict(FAST_JOB, id="a"))  # idempotent
+        assert same.spec.id == "a"
+        with pytest.raises(Conflict):
+            svc.submit({"id": "a", "command": "fig4"})
+        svc.close()
+
+    def test_draining_rejects_admissions(self, tmp_path):
+        svc = _service(tmp_path / "out")
+        svc.open()
+        svc.begin_drain("test")
+        with pytest.raises(Draining) as exc:
+            svc.submit(dict(FAST_JOB, id="x"))
+        assert exc.value.status == 503
+        svc.close()
+
+    def test_expired_in_queue_is_rejected_not_run(self, tmp_path):
+        svc = _service(tmp_path / "out", workers=1, chaos=STALL_CHAOS,
+                       retries=0)
+        svc.open()
+        # the stalled job owns the only worker...
+        (wedge,) = svc.submit({"id": "wedge", "command": "faults",
+                               "timeout": 120})
+        svc.tick()
+        assert wedge.status == RUNNING
+        # ...so this one expires in the queue and must never spawn
+        (doomed,) = svc.submit(dict(FAST_JOB, id="doomed"), deadline_s=0.2)
+        _drive(svc, lambda: doomed.terminal, timeout=30)
+        assert doomed.status == REJECTED
+        assert doomed.attempts == 0
+        assert "deadline" in doomed.detail
+        assert svc.counters.snapshot()["serve.rejected.deadline"] == 1
+        # teardown: kill the wedged worker the way a drain would
+        svc.begin_drain("test")
+        svc._kill_all_running("drain-deadline")
+        svc.close()
+
+    def test_deadline_bounds_worker_runtime(self, tmp_path):
+        svc = _service(tmp_path / "out", workers=1, chaos=STALL_CHAOS,
+                       retries=0)
+        svc.open()
+        # stalled worker + 0.5s deadline: the kill budget is the
+        # remaining deadline, so the attempt dies and cannot retry
+        (job,) = svc.submit({"id": "wedge", "command": "faults",
+                             "timeout": 120}, deadline_s=0.5)
+        _drive(svc, lambda: job.terminal, timeout=30)
+        assert job.status == "failed"
+        assert "deadline exceeded" in job.detail
+        svc.close()
+
+    def test_permanent_failure_fails_fast(self, tmp_path):
+        svc = _service(tmp_path / "out", retries=3)
+        svc.open()
+        # a bad flag makes the driver exit 2 deterministically
+        (job,) = svc.submit({"id": "bad", "command": "faults",
+                             "args": ["--fault-plan", "no_such_fault=1"]})
+        _drive(svc, _all_terminal(svc))
+        assert job.status == "failed"
+        assert job.attempts == 1  # exactly one attempt, 3 retries unused
+        assert "permanent" in job.detail
+        assert svc.counters.snapshot()["serve.failed.permanent"] == 1
+        svc.close()
+
+    def test_crash_retries_with_jittered_backoff(self, tmp_path):
+        chaos = parse_chaos("kill-worker:p=1.0", seed=3)
+        svc = _service(tmp_path / "out", chaos=chaos, retries=2,
+                       retry_seed=7)
+        svc.open()
+        (job,) = svc.submit(dict(FAST_JOB, id="j1"))
+        _drive(svc, _all_terminal(svc))
+        # first attempt chaos-killed, second (never sabotaged) succeeds
+        assert job.status == DONE and job.attempts == 2
+        assert svc.counters.snapshot()["serve.crashes"] == 1
+        assert svc.counters.snapshot()["serve.retries"] == 1
+        records, _ = read_journal(svc.journal_path)
+        (retry,) = [r for r in records if r["ev"] == "retry"]
+        assert 0.0 <= retry["backoff_s"] <= svc.backoff
+        svc.close()
+
+    def test_shutdown_report_summarizes_outcomes(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        svc = _service(tmp_path / "out", stream=stream)
+        svc.open()
+        svc.submit([dict(FAST_JOB, id="a"), dict(FAST_JOB, id="b")])
+        _drive(svc, _all_terminal(svc))
+        svc.close()
+        report = stream.getvalue()
+        assert "serve report" in report
+        assert "2 admitted: 2 done (1 from the memo cache)" in report
+        assert "done (memo)" in report
+
+    def test_bad_spec_raises_spec_error(self, tmp_path):
+        svc = _service(tmp_path / "out")
+        svc.open()
+        with pytest.raises(SpecError):
+            svc.submit({"command": "serve"})  # recursion denied
+        with pytest.raises(SpecError):
+            svc.submit({"no_command": True})
+        with pytest.raises(SpecError):
+            svc.submit(dict(FAST_JOB, id="x"), deadline_s=-1)
+        svc.close()
+
+    def test_preflight_rejects_bad_config(self, tmp_path):
+        for kwargs in ({"workers": 0}, {"queue_cap": 0},
+                       {"client_cap": 0}, {"retries": -1},
+                       {"drain_timeout": 0}):
+            with pytest.raises(ServeError):
+                _service(tmp_path / "out", **kwargs)
+
+    def test_existing_journal_requires_resume(self, tmp_path):
+        svc = _service(tmp_path / "out")
+        svc.open()
+        svc.close()
+        with pytest.raises(ServeError) as exc:
+            _service(tmp_path / "out").open()
+        assert "--resume" in str(exc.value)
+
+
+class TestServiceRecovery:
+    def test_replay_restores_exact_queue_state(self, tmp_path):
+        svc1 = _service(tmp_path / "out", workers=1, chaos=STALL_CHAOS)
+        svc1.open()
+        svc1.submit([
+            {"id": "wedged", "command": "faults", "timeout": 120},
+            dict(FAST_JOB, id="queued"),
+        ], client="c1")
+        svc1.tick()  # spawns the wedged job
+        running = svc1._running()
+        assert [j.spec.id for j in running] == ["wedged"]
+        # simulate SIGKILL: kill the worker, never close the journal
+        for job in running:
+            job.proc.kill()
+            job.proc.join()
+        svc2 = _service(tmp_path / "out", resume=True)
+        svc2.open()
+        assert set(svc2.jobs) == {"wedged", "queued"}
+        assert all(j.status == QUEUED for j in svc2.jobs.values())
+        wedged = svc2.jobs["wedged"]
+        assert wedged.attempts == 1  # the dead attempt still counts...
+        assert wedged.client == "c1"
+        _drive(svc2, _all_terminal(svc2))
+        # ...which is why chaos (first-attempt-only) cannot re-wedge it
+        assert all(j.status == DONE for j in svc2.jobs.values())
+        svc2.close()
+
+    def test_done_jobs_stay_done_across_restart(self, tmp_path):
+        svc1 = _service(tmp_path / "out")
+        svc1.open()
+        svc1.submit(dict(FAST_JOB, id="j1"))
+        _drive(svc1, _all_terminal(svc1))
+        result = Path(svc1.jobs["j1"].result)
+        bytes_before = result.read_bytes()
+        mtime = result.stat().st_mtime_ns
+        svc2 = _service(tmp_path / "out", resume=True)
+        svc2.open()
+        job = svc2.jobs["j1"]
+        assert job.status == DONE and job.result == str(result)
+        svc2.close()
+        assert result.read_bytes() == bytes_before
+        assert result.stat().st_mtime_ns == mtime  # never re-published
+
+    def test_corrupt_done_result_requeues_on_restart(self, tmp_path):
+        svc1 = _service(tmp_path / "out")
+        svc1.open()
+        svc1.submit(dict(FAST_JOB, id="j1"))
+        _drive(svc1, _all_terminal(svc1))
+        result = Path(svc1.jobs["j1"].result)
+        good = result.read_bytes()
+        result.write_bytes(b"bit rot\n")
+        svc2 = _service(tmp_path / "out", resume=True)
+        svc2.open()
+        assert svc2.jobs["j1"].status == QUEUED  # sidecar check failed
+        assert svc2.counters.snapshot()["memo.corrupt"] >= 1
+        _drive(svc2, _all_terminal(svc2))
+        assert result.read_bytes() == good  # re-run republished
+        svc2.close()
+
+    def test_deadline_expired_while_down_is_rejected(self, tmp_path):
+        svc1 = _service(tmp_path / "out")
+        svc1.open()
+        svc1.submit(dict(FAST_JOB, id="late"), deadline_s=0.05)
+        # the server "dies" before running it; the deadline passes
+        time.sleep(0.1)
+        svc2 = _service(tmp_path / "out", resume=True)
+        svc2.open()
+        job = svc2.jobs["late"]
+        assert job.status == REJECTED
+        assert "server was down" in job.detail
+        records, _ = read_journal(svc2.journal_path)
+        assert fold_serve(records)["late"]["status"] == REJECTED
+        svc2.close()
+
+    def test_journal_compacts_across_many_submissions(self, tmp_path):
+        svc = _service(tmp_path / "out", queue_cap=500, client_cap=500)
+        svc.open()
+        svc._journal._every = 32
+        svc.submit([dict(FAST_JOB, id=f"j{i}") for i in range(100)])
+        _drive(svc, _all_terminal(svc))
+        svc.close()
+        records, torn = read_journal(svc.journal_path)
+        assert not torn
+        # 100 submissions folded down: compaction kept the journal at
+        # O(jobs), one submitted + one done line each, plus bookkeeping
+        assert len(records) <= 2 * 100 + 10
+        folded = fold_serve(records)
+        assert len(folded) == 100
+        assert all(st["status"] == DONE for st in folded.values())
+
+
+# --- end-to-end HTTP tests --------------------------------------------------
+
+
+class _LiveServer:
+    """An in-process serve instance on an ephemeral port."""
+
+    def __init__(self, tmp_path, **kwargs):
+        kwargs.setdefault("workers", 2)
+        kwargs.setdefault("backoff", 0.05)
+        self.service = ExperimentService(str(tmp_path), **kwargs)
+        self.port = None
+        self._server = None
+        self._sched = None
+
+    async def __aenter__(self):
+        self.service.open()
+        app = ServeApp(self.service)
+        self._server = await asyncio.start_server(  # detlint: ignore[socket-io]
+            app.handle, host="127.0.0.1", port=0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._sched = asyncio.create_task(self.service.run_scheduler())
+        return self
+
+    async def __aexit__(self, *exc):
+        if not self.service.draining:
+            self.service.begin_drain("test-teardown")
+            self.service._drain_deadline = time.monotonic() + 1.0
+        await asyncio.wait_for(self._sched, timeout=30)
+        self._server.close()
+        await self._server.wait_closed()
+        self.service.close()
+
+    async def request(self, method, path, body=None, headers=None):
+        reader, writer = await asyncio.open_connection(  # detlint: ignore[socket-io]
+            "127.0.0.1", self.port)
+        payload = json.dumps(body).encode() if body is not None else b""
+        lines = [f"{method} {path} HTTP/1.1", "Host: test",
+                 f"Content-Length: {len(payload)}"]
+        lines += [f"{k}: {v}" for k, v in (headers or {}).items()]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+        raw = await reader.read(-1)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        head, _, body_bytes = raw.partition(b"\r\n\r\n")
+        head_lines = head.decode().split("\r\n")
+        status = int(head_lines[0].split(" ")[1])
+        hdrs = {}
+        for line in head_lines[1:]:
+            name, _, value = line.partition(":")
+            hdrs[name.strip().lower()] = value.strip()
+        return status, hdrs, body_bytes
+
+    async def request_json(self, method, path, body=None, headers=None):
+        status, hdrs, raw = await self.request(method, path, body, headers)
+        return status, hdrs, json.loads(raw)
+
+
+class TestHttpEndToEnd:
+    def test_submit_wait_fetch_result(self, tmp_path):
+        async def run():
+            async with _LiveServer(tmp_path / "out") as srv:
+                st, _, doc = await srv.request_json("GET", "/healthz")
+                assert (st, doc) == (200, {"ok": True})
+                st, _, doc = await srv.request_json("GET", "/readyz")
+                assert st == 200 and doc["ready"]
+                st, _, doc = await srv.request_json(
+                    "POST", "/jobs?wait=1", dict(FAST_JOB, id="j1"))
+                assert st == 200
+                (job,) = doc["jobs"]
+                assert job["status"] == "done" and not job["cached"]
+                st, _, raw = await srv.request("GET", "/jobs/j1/result")
+                assert st == 200 and b"breakdown" in raw
+                # an identical config from another client: cache hit
+                st, _, doc = await srv.request_json(
+                    "POST", "/jobs?wait=1", dict(FAST_JOB, id="j2"),
+                    headers={"X-Client": "other"})
+                assert doc["jobs"][0]["cached"]
+                st, _, doc = await srv.request_json("GET", "/stats")
+                assert doc["counters"]["serve.completed"] == 2
+                assert doc["counters"]["serve.memo_served"] == 1
+        asyncio.run(run())
+
+    def test_backpressure_and_retry_after(self, tmp_path):
+        async def run():
+            async with _LiveServer(tmp_path / "out", workers=1,
+                                   queue_cap=2, client_cap=100,
+                                   chaos=STALL_CHAOS, retries=0,
+                                   drain_timeout=1.0) as srv:
+                st, _, _doc = await srv.request_json(
+                    "POST", "/jobs",
+                    [{"id": "wedged", "command": "faults", "timeout": 120},
+                     {"id": "parked", "command": "fig4"}])
+                assert st == 200
+                st, hdrs, doc = await srv.request_json(
+                    "POST", "/jobs", {"id": "refused", "command": "fig3"})
+                assert st == 429
+                assert "retry-after" in hdrs
+                assert int(hdrs["retry-after"]) >= 1
+                assert "queue is full" in doc["error"]
+        asyncio.run(run())
+
+    def test_bad_requests_get_4xx_not_500(self, tmp_path):
+        async def run():
+            async with _LiveServer(tmp_path / "out") as srv:
+                st, _, _h = await srv.request("POST", "/jobs",
+                                              {"command": "serve"})
+                assert st == 400
+                st, _, _h = await srv.request("GET", "/jobs/ghost")
+                assert st == 404
+                st, _, _h = await srv.request("DELETE", "/jobs/ghost")
+                assert st == 405
+                st, _, _h = await srv.request(
+                    "POST", "/jobs", dict(FAST_JOB, id="x"),
+                    headers={"X-Deadline": "soon"})
+                assert st == 400
+                # malformed body
+                reader, writer = await asyncio.open_connection(  # detlint: ignore[socket-io]
+                    "127.0.0.1", srv.port)
+                writer.write(b"POST /jobs HTTP/1.1\r\nHost: t\r\n"
+                             b"Content-Length: 3\r\n\r\n{{{")
+                await writer.drain()
+                raw = await reader.read(-1)
+                assert b" 400 " in raw.split(b"\r\n")[0]
+                writer.close()
+        asyncio.run(run())
+
+    def test_deadline_expired_in_queue_rejected_over_http(self, tmp_path):
+        async def run():
+            async with _LiveServer(tmp_path / "out", workers=1,
+                                   chaos=STALL_CHAOS, retries=0,
+                                   drain_timeout=1.0) as srv:
+                await srv.request_json(
+                    "POST", "/jobs",
+                    {"id": "wedged", "command": "faults", "timeout": 120})
+                st, _, _doc = await srv.request_json(
+                    "POST", "/jobs", dict(FAST_JOB, id="doomed"),
+                    headers={"X-Deadline": "0.2"})
+                assert st == 200
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    st, _, doc = await srv.request_json("GET", "/jobs/doomed")
+                    if doc["status"] in ("done", "failed", "rejected"):
+                        break
+                    await asyncio.sleep(0.05)
+                assert doc["status"] == "rejected"
+                assert doc["attempts"] == 0
+                st, _, _raw = await srv.request("GET", "/jobs/doomed/result")
+                assert st == 404
+        asyncio.run(run())
+
+    def test_client_disconnect_releases_slot_job_completes(self, tmp_path):
+        async def run():
+            async with _LiveServer(tmp_path / "out", workers=1,
+                                   client_cap=1, chaos=STALL_CHAOS,
+                                   retries=1, drain_timeout=1.0) as srv:
+                svc = srv.service
+                # stall chaos wedges every first attempt; timeouts cut
+                # them loose and the (never-sabotaged) retries succeed.
+                # the wedged job owns the only worker, so "slow" waits
+                # in queue behind it
+                await srv.request_json(
+                    "POST", "/jobs",
+                    {"id": "wedged", "command": "faults", "timeout": 0.4},
+                    headers={"X-Client": "zoe"})
+                # a waiting client from another identity...
+                reader, writer = await asyncio.open_connection(  # detlint: ignore[socket-io]
+                    "127.0.0.1", srv.port)
+                payload = json.dumps(
+                    dict(FAST_JOB, id="slow", timeout=0.5)).encode()
+                writer.write((
+                    "POST /jobs?wait=1 HTTP/1.1\r\nHost: t\r\n"
+                    "X-Client: impatient\r\n"
+                    f"Content-Length: {len(payload)}\r\n\r\n"
+                ).encode() + payload)
+                await writer.drain()
+                # ...hangs up without reading the response
+                deadline = time.monotonic() + 10
+                while svc.client_inflight("impatient") != 1:
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.02)
+                writer.close()
+                deadline = time.monotonic() + 10
+                while svc.counters.snapshot().get("serve.disconnects", 0) < 1:
+                    assert time.monotonic() < deadline, \
+                        "disconnect never detected"
+                    await asyncio.sleep(0.02)
+                assert svc.client_inflight("impatient") == 0
+                # the abandoned job still runs to completion and its
+                # result lands in the memo cache for the next caller
+                deadline = time.monotonic() + 30
+                while True:
+                    st, _, doc = await srv.request_json("GET", "/jobs/slow")
+                    if doc["status"] == "done":
+                        break
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.05)
+                st, _, doc = await srv.request_json(
+                    "POST", "/jobs?wait=1", dict(FAST_JOB, id="again"))
+                assert doc["jobs"][0]["cached"]
+        asyncio.run(run())
+
+    def test_drain_flips_readiness_and_rejects(self, tmp_path):
+        async def run():
+            async with _LiveServer(tmp_path / "out") as srv:
+                srv.service.begin_drain("test")
+                st, _, doc = await srv.request_json("GET", "/readyz")
+                assert st == 503 and doc["draining"]
+                st, _, doc = await srv.request_json("GET", "/healthz")
+                assert st == 200  # alive, just not admitting
+                st, hdrs, doc = await srv.request_json(
+                    "POST", "/jobs", dict(FAST_JOB, id="x"))
+                assert st == 503
+                assert "draining" in doc["error"]
+        asyncio.run(run())
+
+    def test_soak_hundreds_of_specs_dedup_via_memo(self, tmp_path):
+        # 240 submissions over 6 unique configs: exactly 6 worker runs,
+        # everything else answered from the memo cache
+        async def run():
+            async with _LiveServer(tmp_path / "out", workers=4,
+                                   queue_cap=300, client_cap=300) as srv:
+                unique = [{"command": "breakdown", "args": ["--mb", str(m)]}
+                          for m in (1, 2, 3, 4, 5, 6)]
+                specs = [dict(unique[i % 6], id=f"j{i:03d}")
+                         for i in range(240)]
+                for lo in range(0, 240, 60):
+                    st, _, _doc = await srv.request_json(
+                        "POST", "/jobs", specs[lo:lo + 60])
+                    assert st == 200
+                svc = srv.service
+                deadline = time.monotonic() + 120
+                while not all(j.terminal for j in svc.jobs.values()):
+                    assert time.monotonic() < deadline, "soak stalled"
+                    await asyncio.sleep(0.1)
+                assert len(svc.jobs) == 240
+                assert all(j.status == "done" for j in svc.jobs.values())
+                assert sum(j.attempts for j in svc.jobs.values()) == 6
+                counters = svc.counters.snapshot()
+                assert counters["serve.completed"] == 240
+                assert counters["serve.memo_served"] == 234
+                # and the journal folds to 240 done jobs
+                st, _, doc = await srv.request_json("GET", "/stats")
+                assert doc["queue"]["by_status"] == {"done": 240}
+        asyncio.run(run())
+        records, torn = read_journal(str(tmp_path / "out" / "serve.jsonl"))
+        assert not torn
+        folded = fold_serve(records)
+        assert len(folded) == 240
+        assert all(st["status"] == DONE for st in folded.values())
+
+
+# --- subprocess chaos tests -------------------------------------------------
+
+
+SERVE_SPECS = [
+    {"id": "bd1", "command": "breakdown", "args": ["--mb", "1"]},
+    {"id": "bd2", "command": "breakdown", "args": ["--mb", "2"]},
+    {"id": "f4", "command": "fig4"},
+    {"id": "reg", "command": "registration"},
+]
+
+
+def _http(addr, method, path, body=None, headers=None, timeout=30):
+    host, port = addr.split(":")
+    with socket.create_connection((host, int(port)), timeout=timeout) as s:
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(payload)}\r\n")
+        for key, value in (headers or {}).items():
+            head += f"{key}: {value}\r\n"
+        s.sendall(head.encode() + b"\r\n" + payload)
+        raw = b""
+        while True:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head_b, _, body_b = raw.partition(b"\r\n\r\n")
+    return int(head_b.split(b" ")[1]), body_b
+
+
+def _start_serve(out_dir, *extra, cwd):
+    addr_file = Path(out_dir) / "serve.addr"
+    addr_file.unlink(missing_ok=True)
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--out-dir", str(out_dir), "--workers", "2", *extra],
+        env=env, cwd=str(cwd),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"serve exited early: {proc.communicate()[1]}")
+        if addr_file.exists() and addr_file.read_text().strip():
+            return proc, addr_file.read_text().strip()
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("serve never published its address")
+
+
+def _results_by_key(out_dir):
+    return {p.name: p.read_bytes()
+            for p in (Path(out_dir) / "results").glob("*.out")}
+
+
+class TestServeCrashRecovery:
+    def test_sigkill_restart_resume_byte_identical(self, tmp_path):
+        # baseline: the same configs through the batch runner, no chaos
+        specfile = tmp_path / "specs.json"
+        specfile.write_text(json.dumps(SERVE_SPECS))
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        baseline = subprocess.run(
+            [sys.executable, "-m", "repro", "batch", str(specfile),
+             "--out-dir", str(tmp_path / "plain"), "--jobs", "2"],
+            env=env, cwd=str(tmp_path), capture_output=True, text=True,
+            timeout=120)
+        assert baseline.returncode == 0, baseline.stderr
+        expected = _results_by_key(tmp_path / "plain")
+        assert len(expected) == len(SERVE_SPECS)
+
+        out = tmp_path / "srv"
+        out.mkdir()
+        chaos = ["--chaos", "kill-worker:p=1.0", "--chaos-seed", "1",
+                 "--backoff", "0.2"]
+        proc, addr = _start_serve(out, *chaos, cwd=tmp_path)
+        st, _ = _http(addr, "POST", "/jobs", SERVE_SPECS)
+        assert st == 200
+        # wait until work is journalled as running, then SIGKILL the
+        # server mid-batch — no drain, no flush, no goodbye
+        journal = out / "serve.jsonl"
+        deadline = time.monotonic() + 30
+        while '"ev":"running"' not in journal.read_text():
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        proc.kill()
+        proc.wait(timeout=30)
+        time.sleep(1.0)  # let orphaned workers wind down
+
+        # restart: replay the journal, finish everything
+        proc2, addr2 = _start_serve(out, *chaos, "--resume", cwd=tmp_path)
+        deadline = time.monotonic() + 120
+        while True:
+            st, body = _http(addr2, "GET", "/jobs")
+            jobs = json.loads(body)["jobs"]
+            assert {j["id"] for j in jobs} == {s["id"] for s in SERVE_SPECS}, \
+                "a job was lost across the crash"
+            if all(j["status"] == "done" for j in jobs):
+                break
+            assert time.monotonic() < deadline, f"stalled: {jobs}"
+            time.sleep(0.1)
+        # graceful goodbye: SIGTERM drains and exits 0
+        proc2.send_signal(signal.SIGTERM)
+        _stdout, stderr2 = proc2.communicate(timeout=60)
+        assert proc2.returncode == 0, stderr2
+        assert "draining (SIGTERM)" in stderr2
+
+        # the headline guarantee: a SIGKILLed, replayed, chaos-ridden
+        # service produces byte-identical results to the clean run
+        assert _results_by_key(out) == expected
+        # and the journal agrees: every job done exactly once
+        records, torn = read_journal(str(journal))
+        assert not torn
+        folded = fold_serve(records)
+        assert sorted(folded) == sorted(s["id"] for s in SERVE_SPECS)
+        assert all(st["status"] == DONE for st in folded.values())
+
+    def test_sigint_drains_and_requeues_stragglers(self, tmp_path):
+        out = tmp_path / "srv"
+        out.mkdir()
+        proc, addr = _start_serve(
+            out, "--chaos", "stall:p=1.0", "--drain-timeout", "0.5",
+            "--workers", "1", cwd=tmp_path)
+        st, _ = _http(addr, "POST", "/jobs",
+                      [{"id": "wedged", "command": "faults",
+                        "timeout": 300}])
+        assert st == 200
+        journal = out / "serve.jsonl"
+        deadline = time.monotonic() + 30
+        while '"ev":"running"' not in journal.read_text():
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGINT)
+        _stdout, stderr = proc.communicate(timeout=60)
+        # the wedged worker blew the drain deadline, was killed, and
+        # the drain still completed cleanly
+        assert proc.returncode == 0, stderr
+        assert "drain deadline" in stderr
+        records, torn = read_journal(str(journal))
+        assert not torn
+        # the killed job folded back to queued: owed an answer on the
+        # next start, not lost, not failed
+        assert fold_serve(records)["wedged"]["status"] == QUEUED
+
+
+# --- CLI surface ------------------------------------------------------------
+
+
+class TestServeCLI:
+    def test_bad_chaos_exits_2(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             "--out-dir", str(tmp_path / "out"), "--chaos", "bogus:p=x"],
+            env=env, capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 2
+        assert "--chaos" in proc.stderr
+
+    def test_journal_collision_exits_2(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        (out / "serve.jsonl").write_text("")
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--out-dir", str(out)],
+            env=env, capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 2
+        assert "--resume" in proc.stderr
+
+    def test_serve_denied_as_its_own_job_command(self):
+        # the service must not be able to recurse into itself
+        from repro.batch.spec import parse_jobs_doc
+
+        with pytest.raises(SpecError) as exc:
+            parse_jobs_doc({"command": "serve"})
+        assert "serve" in str(exc.value)

@@ -17,9 +17,16 @@ caused exactly that:
 ``wallclock-sleep``
     Wall-clock waits and process signalling (``time.sleep``,
     ``os.kill``, ``signal.alarm``) — real-time delays and signals have
-    no place in a simulated timeline.  The one legitimate home is the
-    batch runner's process supervision (``repro.batch``), which marks
-    each site with ``# detlint: ignore[wallclock-sleep]``.
+    no place in a simulated timeline.  The legitimate homes are
+    process supervision (``repro.batch``) and the experiment service
+    (``repro.serve``), which mark each site with
+    ``# detlint: ignore[wallclock-sleep]``.
+``socket-io``
+    Network socket construction (``asyncio.start_server``,
+    ``socket.socket``, ...) — the simulator models its own wire; real
+    sockets in simulation code mean external state is leaking in.
+    The one module whose *job* is sockets is the ``repro serve`` HTTP
+    layer (``repro.serve``), which suppresses each site.
 ``unseeded-random``
     The module-level ``random.*`` functions (global, unseeded RNG),
     ``random.Random()`` constructed without a seed, and ``numpy.random``
@@ -81,6 +88,8 @@ RULES: Dict[str, str] = {
     "set-iteration": "iteration over an unordered set literal or "
                      "set()/frozenset() call",
     "float-counter": "float amount passed to CounterSet.add/add_many",
+    "socket-io": "real network socket construction (asyncio.start_server, "
+                 "socket.socket, ...)",
     "mutable-class-attr": "mutable literal shared as a class attribute",
     "intern-str": "sys.intern on an argument not provably str",
 }
@@ -96,6 +105,14 @@ _WALLCLOCK = {
 
 #: wall-clock waits and process signalling — real time leaking into a run
 _WALLCLOCK_SLEEP = {"time.sleep", "os.kill", "signal.alarm"}
+
+#: real network socket construction — external state leaking into a run
+_SOCKET_IO = {
+    "asyncio.start_server", "asyncio.open_connection",
+    "asyncio.start_unix_server", "asyncio.open_unix_connection",
+    "socket.socket", "socket.create_connection", "socket.create_server",
+    "socket.socketpair",
+}
 
 #: module-level random functions backed by the global (unseeded) RNG
 _GLOBAL_RANDOM = {
@@ -193,7 +210,14 @@ class _Linter(ast.NodeVisitor):
                            f"{dotted}() waits on (or signals) the host in "
                            f"real time; simulated delays belong on the tick "
                            f"clock — only process supervision (repro.batch) "
-                           f"may suppress this")
+                           f"and the serve layer (repro.serve) may "
+                           f"suppress this")
+            elif dotted in _SOCKET_IO:
+                self._flag(node, "socket-io",
+                           f"{dotted}() opens a real network socket; the "
+                           f"simulator models its own wire — only the "
+                           f"serve HTTP layer (repro.serve) may suppress "
+                           f"this")
             elif dotted in _GLOBAL_RANDOM:
                 self._flag(node, "unseeded-random",
                            f"{dotted}() uses the global unseeded RNG; use "

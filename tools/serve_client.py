@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""A tiny stdlib client for ``repro serve`` (CI smoke + ops).
+
+Talks plain HTTP/1.1 over a socket — no dependencies, so it runs in
+the same bare CI environment as the server.
+
+Usage::
+
+    python tools/serve_client.py submit <addr|addr-file> specs.json
+    python tools/serve_client.py wait   <addr|addr-file> [--timeout S]
+    python tools/serve_client.py get    <addr|addr-file> /stats
+
+``addr`` is ``host:port`` or a path to the ``serve.addr`` file the
+server writes.  ``submit`` POSTs the specfile's jobs (exit 0 on 200);
+``wait`` polls ``/jobs`` until every job is terminal (exit 0 only if
+all are done); ``get`` prints a response body.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import time
+from typing import Optional, Tuple
+
+
+def resolve_addr(spec: str) -> Tuple[str, int]:
+    if os.path.exists(spec):
+        spec = open(spec, encoding="utf-8").read().strip()
+    host, _, port = spec.rpartition(":")
+    return host, int(port)
+
+
+def request(addr: Tuple[str, int], method: str, path: str,
+            body: Optional[bytes] = None,
+            timeout: float = 30.0) -> Tuple[int, bytes]:
+    with socket.create_connection(addr, timeout=timeout) as sock:
+        payload = body or b""
+        head = (f"{method} {path} HTTP/1.1\r\nHost: serve\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Content-Type: application/json\r\n\r\n")
+        sock.sendall(head.encode("ascii") + payload)
+        raw = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head_b, _, body_b = raw.partition(b"\r\n\r\n")
+    return int(head_b.split(b" ", 2)[1]), body_b
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    addr = resolve_addr(args.addr)
+    body = open(args.specfile, "rb").read()
+    status, raw = request(addr, "POST", "/jobs", body)
+    print(f"submit: {status}")
+    sys.stdout.write(raw.decode("utf-8", "replace"))
+    return 0 if status == 200 else 1
+
+
+def cmd_wait(args: argparse.Namespace) -> int:
+    addr = resolve_addr(args.addr)
+    deadline = time.monotonic() + args.timeout
+    while True:
+        status, raw = request(addr, "GET", "/jobs")
+        if status != 200:
+            print(f"wait: GET /jobs -> {status}", file=sys.stderr)
+            return 1
+        jobs = json.loads(raw)["jobs"]
+        pending = [j for j in jobs
+                   if j["status"] not in ("done", "failed", "rejected")]
+        if not pending:
+            bad = [j for j in jobs if j["status"] != "done"]
+            for job in bad:
+                print(f"wait: {job['id']} -> {job['status']} "
+                      f"({job.get('detail', '')})", file=sys.stderr)
+            print(f"wait: {len(jobs)} job(s), "
+                  f"{len(jobs) - len(bad)} done, {len(bad)} not")
+            return 1 if bad else 0
+        if time.monotonic() >= deadline:
+            print(f"wait: timed out with {len(pending)} job(s) pending: "
+                  f"{[j['id'] for j in pending]}", file=sys.stderr)
+            return 1
+        time.sleep(0.2)
+
+
+def cmd_get(args: argparse.Namespace) -> int:
+    addr = resolve_addr(args.addr)
+    status, raw = request(addr, "GET", args.path)
+    sys.stdout.write(raw.decode("utf-8", "replace"))
+    return 0 if status == 200 else 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_submit = sub.add_parser("submit", help="POST a specfile to /jobs")
+    p_submit.add_argument("addr")
+    p_submit.add_argument("specfile")
+    p_wait = sub.add_parser("wait", help="poll until every job is terminal")
+    p_wait.add_argument("addr")
+    p_wait.add_argument("--timeout", type=float, default=300.0)
+    p_get = sub.add_parser("get", help="GET a path and print the body")
+    p_get.add_argument("addr")
+    p_get.add_argument("path")
+    args = parser.parse_args(argv)
+    return {"submit": cmd_submit, "wait": cmd_wait, "get": cmd_get}[
+        args.cmd](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
