@@ -56,6 +56,7 @@ from dataclasses import asdict
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.engine import core as engine_core
+from repro.engine import sched as sched_mod
 from repro.util import atomic_write
 
 #: snapshot schema tag; bump on any incompatible payload change
@@ -159,8 +160,10 @@ def pending_work(cluster) -> List[str]:
     """Human-readable reasons *cluster* is not at a quiescent boundary
     (empty list means it is)."""
     issues = []
-    if cluster.kernel._queue:
-        issues.append(f"{len(cluster.kernel._queue)} events pending in the heap")
+    if len(cluster.kernel._sched):
+        issues.append(
+            f"{len(cluster.kernel._sched)} events pending in the scheduler"
+        )
     for i, node in enumerate(cluster.nodes):
         if node.hca._rx_inflight:
             issues.append(f"node {i}: {len(node.hca._rx_inflight)} inbound messages in flight")
@@ -337,8 +340,9 @@ def capture_cluster(cluster, require_quiescent: bool = True) -> dict:
         "kernel": {
             "now": kernel._now,
             "seq": kernel._seq,
-            "queue_length": len(kernel._queue),
-            "pending": [_describe_event(e) for e in sorted(kernel._queue)[:256]],
+            "scheduler": kernel._sched.kind,
+            "queue_length": len(kernel._sched),
+            "pending": [_describe_event(e) for e in kernel._sched.entries()[:256]],
         },
         "module_ids": {
             "verbs": _count_next(verbs._ids),
@@ -516,6 +520,12 @@ def restore_cluster(payload: dict):
     kernel_state = payload["kernel"]
     cluster.kernel._now = kernel_state["now"]
     cluster.kernel._seq = kernel_state["seq"]
+    # honour the snapshot's scheduler kind (the queue is empty at a
+    # quiescent boundary, so swapping the implementation is free; event
+    # ordering is pinned identical across kinds regardless)
+    recorded = kernel_state.get("scheduler")
+    if recorded and recorded != cluster.kernel._sched.kind:
+        cluster.kernel._sched = sched_mod.make_scheduler(recorded)
     fstate = payload["faults"]
     if fstate is not None and cluster.faults is not None:
         cluster.faults.rng.setstate(fstate["rng_state"])
@@ -661,9 +671,10 @@ def post_mortem_report(kernel=None, clusters=None) -> str:
     if kernel is not None:
         lines.append(
             f"kernel: now={kernel._now} seq={kernel._seq} "
-            f"pending_events={len(kernel._queue)}"
+            f"scheduler={kernel._sched.kind} "
+            f"pending_events={len(kernel._sched)}"
         )
-        for summary in [_describe_event(e) for e in sorted(kernel._queue)[:32]]:
+        for summary in [_describe_event(e) for e in kernel._sched.entries()[:32]]:
             wakes = ",".join(summary["wakes"]) or "-"
             lines.append(
                 f"  event t={summary['when']} prio={summary['priority']} "

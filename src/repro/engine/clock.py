@@ -9,7 +9,12 @@ in nanoseconds or converted to bandwidths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+#: ns→ticks memo cap per clock: figure runs use a small set of distinct
+#: durations (fixed pipeline costs plus one value per message size), so
+#: the cache stays tiny; the cap only guards pathological workloads.
+_MEMO_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -26,12 +31,21 @@ class TickClock:
     """
 
     ticks_per_us: float = 200.0
+    #: per-instance ns→ticks memo (ns_to_ticks is the hottest call in
+    #: the simulator and mostly sees the same handful of fixed costs)
+    _memo: dict = field(default_factory=dict, compare=False, repr=False)
 
     def ns_to_ticks(self, ns: float) -> int:
         """Convert nanoseconds to whole ticks (round half up, min 0)."""
+        ticks = self._memo.get(ns)
+        if ticks is not None:
+            return ticks
         if ns < 0:
             raise ValueError(f"negative duration: {ns} ns")
-        return int(ns * self.ticks_per_us / 1000.0 + 0.5)
+        ticks = int(ns * self.ticks_per_us / 1000.0 + 0.5)
+        if len(self._memo) < _MEMO_MAX:
+            self._memo[ns] = ticks
+        return ticks
 
     def us_to_ticks(self, us: float) -> int:
         """Convert microseconds to whole ticks."""

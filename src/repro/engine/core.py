@@ -1,21 +1,42 @@
 """Core of the discrete-event simulation kernel.
 
-The kernel keeps a priority queue of ``(time, priority, sequence, event)``
-entries.  Time is an integer tick count; ties are broken first by an event
-priority (so e.g. urgent interrupts run before normal timeouts at the same
-instant) and then by scheduling order, which makes every simulation fully
-deterministic.
+The kernel keeps pending ``(time, priority, sequence, event)`` entries in
+a pluggable :mod:`scheduler <repro.engine.sched>`.  Time is an integer
+tick count; ties are broken first by an event priority (so e.g. urgent
+interrupts run before normal timeouts at the same instant) and then by
+scheduling order, which makes every simulation fully deterministic.
+
+Dispatch is *frame-fused*: the scheduler hands back every event sharing
+the minimal ``(time, priority)`` key as one frame, and events scheduled
+**during** the frame for the same key are appended to the live frame —
+same-tick cascades (resource grants, zero-delay succeeds) never touch
+the scheduler at all.  An urgent event scheduled mid-frame preempts the
+rest of the frame exactly as the old per-event heap loop would have.
 
 Processes are plain generator functions.  Each ``yield`` hands the kernel a
 waitable :class:`Event`; the process is resumed with the event's value when
 it fires (or the event's exception is thrown into the generator).
+
+Event ownership and pooling
+---------------------------
+
+Spent ``Event``/``Timeout`` instances are recycled through per-kernel
+pools.  Pooling is governed by an explicit hold count, not a refcount
+heuristic: events made by the factories :meth:`SimKernel.event` and
+:meth:`SimKernel.timeout` are *kernel-owned* (hold count 0) and return
+to the pool as soon as their callbacks have run.  Code that keeps a
+reference past that point — to read ``.value`` later, or to yield the
+event again — must take ownership with :meth:`Event.hold` and drop it
+with :meth:`Event.release` when done.  Directly-constructed events
+(``Event(kernel)``, ``Timeout(kernel, d)``) start creator-owned (hold
+count 1) and are never recycled behind the creator's back.
 """
 
 from __future__ import annotations
 
-import heapq
-from sys import getrefcount
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Union
+
+from repro.engine.sched import make_scheduler
 
 #: scheduling priorities (lower runs first at equal times)
 URGENT = 0
@@ -45,7 +66,15 @@ class Event:
     have run).  Processes wait on events by yielding them.
     """
 
-    __slots__ = ("kernel", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = (
+        "kernel",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_triggered",
+        "_processed",
+        "_holds",
+    )
 
     def __init__(self, kernel: "SimKernel"):
         self.kernel = kernel
@@ -54,6 +83,9 @@ class Event:
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        # directly-constructed events are creator-owned; the kernel
+        # factories reset this to 0 (kernel-owned, poolable)
+        self._holds = 1
 
     # -- state ----------------------------------------------------------
     @property
@@ -75,6 +107,27 @@ class Event:
     def value(self) -> Any:
         """The event's value (or exception, if it failed)."""
         return self._value
+
+    # -- ownership ------------------------------------------------------
+    def hold(self) -> "Event":
+        """Take ownership: the event will not be recycled while held.
+
+        Call this before stashing a factory-made event for later reads
+        (``.value`` after other work has run, re-yielding, tracing).
+        Pair with :meth:`release`.
+        """
+        self._holds += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one hold; a processed event with no holds left returns to
+        its kernel's pool."""
+        holds = self._holds - 1
+        if holds < 0:
+            raise SimError(f"release() without a matching hold() on {self!r}")
+        self._holds = holds
+        if holds == 0 and self._processed:
+            self.kernel._recycle(self)
 
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None, delay: int = 0) -> "Event":
@@ -181,6 +234,7 @@ class Process(Event):
                 pass
         self._target = None
         interrupt_ev = Event(self.kernel)
+        interrupt_ev._holds = 0  # kernel-internal, nobody retains it
         interrupt_ev._triggered = True
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
@@ -228,6 +282,7 @@ class Process(Event):
         if target.callbacks is None:
             # already processed: resume immediately at the current instant
             immediate = Event(self.kernel)
+            immediate._holds = 0  # kernel-internal
             immediate._triggered = True
             immediate._ok = target.ok
             immediate._value = target.value
@@ -241,44 +296,66 @@ class Process(Event):
 class AllOf(Event):
     """Fires when every child event has fired; value is the list of values.
 
-    Fails as soon as any child fails.
+    Fails as soon as any child fails.  Children are held (see
+    :meth:`Event.hold`) until the combinator settles, so pooled events
+    are safe to combine.
     """
 
-    __slots__ = ("events", "_pending")
+    __slots__ = ("events", "_pending", "_held")
 
     def __init__(self, kernel: "SimKernel", events: Iterable[Event]):
         super().__init__(kernel)
         self.events = list(events)
         self._pending = 0
+        self._held: List[Event] = []
+        failed: Optional[Event] = None
         for ev in self.events:
             if ev.callbacks is None:  # already processed
-                if not ev.ok and not self._triggered:
-                    self.fail(ev.value)
+                if not ev.ok and failed is None:
+                    failed = ev
                 continue
             self._pending += 1
+            ev.hold()
+            self._held.append(ev)
             ev.callbacks.append(self._child_fired)
-        if self._pending == 0 and not self._triggered:
+        if failed is not None:
+            self.fail(failed.value)
+            self._release_children()
+        elif self._pending == 0:
             self.succeed([ev.value for ev in self.events])
+
+    def _release_children(self) -> None:
+        held, self._held = self._held, []
+        for ev in held:
+            ev.release()
 
     def _child_fired(self, event: Event) -> None:
         if self._triggered:
             return
         if not event.ok:
             self.fail(event.value)
+            self._release_children()
             return
         self._pending -= 1
         if self._pending == 0:
             self.succeed([ev.value for ev in self.events])
+            self._release_children()
 
 
 class AnyOf(Event):
-    """Fires when the first child event fires; value is ``(index, value)``."""
+    """Fires when the first child event fires; value is ``(index, value)``.
 
-    __slots__ = ("events",)
+    Children are held until the combinator settles; note that reading a
+    *losing* child's value after the AnyOf fires requires your own
+    :meth:`Event.hold` on it.
+    """
+
+    __slots__ = ("events", "_held")
 
     def __init__(self, kernel: "SimKernel", events: Iterable[Event]):
         super().__init__(kernel)
         self.events = list(events)
+        self._held: List[Event] = []
         if not self.events:
             raise SimError("AnyOf requires at least one event")
         for i, ev in enumerate(self.events):
@@ -289,7 +366,16 @@ class AnyOf(Event):
                     else:
                         self.fail(ev.value)
                 continue
+            ev.hold()
+            self._held.append(ev)
             ev.callbacks.append(self._make_cb(i))
+        if self._triggered:
+            self._release_children()
+
+    def _release_children(self) -> None:
+        held, self._held = self._held, []
+        for ev in held:
+            ev.release()
 
     def _make_cb(self, index: int) -> Callable[[Event], None]:
         def _cb(event: Event) -> None:
@@ -299,6 +385,7 @@ class AnyOf(Event):
                 self.succeed((index, event.value))
             else:
                 self.fail(event.value)
+            self._release_children()
 
         return _cb
 
@@ -316,6 +403,22 @@ def active_kernel() -> Optional["SimKernel"]:
     return _active_kernel
 
 
+#: scheduler used by kernels that don't name one (see --scheduler)
+_default_scheduler = "heap"
+
+
+def set_default_scheduler(kind: str) -> None:
+    """Set the scheduler new kernels use by default (``heap``/``calendar``)."""
+    global _default_scheduler
+    make_scheduler(kind)  # validate the name eagerly
+    _default_scheduler = kind
+
+
+def default_scheduler() -> str:
+    """The scheduler kind new kernels get by default."""
+    return _default_scheduler
+
+
 class SimKernel:
     """The event loop: a virtual clock plus a scheduling queue.
 
@@ -330,30 +433,48 @@ class SimKernel:
     """
 
     __slots__ = (
-        "_queue",
+        "_sched",
         "_seq",
         "_now",
         "_active_process",
         "_crash",
         "_timeout_pool",
         "_event_pool",
+        "_frame",
+        "_frame_when",
+        "_frame_prio",
+        "_preempt",
+        "_frames",
+        "_events",
     )
 
     #: recycled events kept per pool; beyond this, spent events are left
     #: to the garbage collector
     _POOL_MAX = 256
 
-    def __init__(self) -> None:
-        self._queue: List = []
+    def __init__(self, scheduler: Optional[Union[str, object]] = None) -> None:
+        if scheduler is None:
+            scheduler = _default_scheduler
+        self._sched = (
+            make_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        )
         self._seq = 0
         self._now = 0
         self._active_process: Optional[Process] = None
         self._crash: Optional[BaseException] = None
         # object pools: Timeout/Event instances are the kernel's hottest
-        # allocation; step() recycles ones nobody else references (see
-        # the refcount check there) and the factories below reuse them
+        # allocation; the dispatch loop recycles kernel-owned ones (hold
+        # count 0) and the factories below reuse them
         self._timeout_pool: List[Timeout] = []
         self._event_pool: List[Event] = []
+        # the dispatch frame currently executing: same-key schedules fuse
+        # into it, an urgent same-tick schedule preempts it
+        self._frame: Optional[List] = None
+        self._frame_when = 0
+        self._frame_prio = NORMAL
+        self._preempt = False
+        self._frames = 0
+        self._events = 0
 
     # -- clock ----------------------------------------------------------
     @property
@@ -366,9 +487,15 @@ class SimKernel:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def scheduler_kind(self) -> str:
+        """Registry name of the scheduler this kernel runs on."""
+        return self._sched.kind
+
     # -- event factories --------------------------------------------------
     def event(self) -> Event:
-        """Create a new untriggered event (recycled when possible)."""
+        """Create a new untriggered kernel-owned event (recycled when its
+        callbacks have run unless :meth:`Event.hold` is taken)."""
         pool = self._event_pool
         if pool:
             ev = pool.pop()
@@ -377,27 +504,35 @@ class SimKernel:
             ev._ok = True
             ev._triggered = False
             ev._processed = False
+            ev._holds = 0
             return ev
-        return Event(self)
+        ev = Event(self)
+        ev._holds = 0
+        return ev
 
     def timeout(self, delay: int, value: Any = None) -> Timeout:
-        """Create an event firing after *delay* ticks (recycled when
-        possible)."""
+        """Create a kernel-owned event firing after *delay* ticks
+        (recycled when possible)."""
         pool = self._timeout_pool
         if pool:
             delay = int(delay)
             if delay < 0:
                 raise SimError(f"negative timeout delay {delay}")
             ev = pool.pop()
+            # reset *all* slot state: a recycled timeout must be
+            # indistinguishable from a newly-constructed one
             ev.delay = delay
             ev.callbacks = []
             ev._value = value
             ev._ok = True
             ev._triggered = True
             ev._processed = False
+            ev._holds = 0
             self._schedule(ev, delay, NORMAL)
             return ev
-        return Timeout(self, int(delay), value)
+        ev = Timeout(self, int(delay), value)
+        ev._holds = 0
+        return ev
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Start *generator* as a simulation process."""
@@ -411,101 +546,153 @@ class SimKernel:
         """Wait for the first of *events*."""
         return AnyOf(self, events)
 
+    # -- pooling ----------------------------------------------------------
+    def _recycle(self, event: Event) -> None:
+        """Return a spent kernel-owned event to its pool (exact types
+        only — subclasses carry extra state)."""
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+            if len(pool) < self._POOL_MAX:
+                pool.append(event)
+        elif cls is Event:
+            pool = self._event_pool
+            if len(pool) < self._POOL_MAX:
+                pool.append(event)
+
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, delay: int, priority: int) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + int(delay), priority, self._seq, event))
+        when = self._now + int(delay)
+        frame = self._frame
+        if frame is not None and when == self._frame_when:
+            if priority == self._frame_prio:
+                # same-tick fusion: join the live frame (the fresh seq is
+                # larger than anything dispatched or pending in it)
+                frame.append((self._seq, event))
+                return
+            if priority < self._frame_prio:
+                # an urgent event at the current tick outranks the rest
+                # of this frame: make the dispatch loop yield to it
+                self._preempt = True
+        self._sched.push(when, priority, self._seq, event)
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        return self._sched.peek_time()
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
+        sched = self._sched
+        if not len(sched):
             raise SimError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, prio, frame = sched.pop_frame()
+        for seq, ev in frame[1:]:
+            sched.push(when, prio, seq, ev)
+        event = frame[0][1]
         self._now = when
         event._run_callbacks()
-        if self._crash is not None:
-            exc, self._crash = self._crash, None
-            raise exc
-        # Recycle the spent event if nobody else holds it: refcount 2 is
-        # our local binding plus getrefcount's argument.  Safe because
-        # Event has __slots__ without __weakref__ (no weak references can
-        # observe reuse) and the kernel is single-threaded.  Exact types
-        # only — subclasses carry extra state.
-        cls = type(event)
-        if cls is Timeout:
-            if len(self._timeout_pool) < self._POOL_MAX and getrefcount(event) == 2:
-                event._value = None
-                self._timeout_pool.append(event)
-        elif cls is Event:
-            if len(self._event_pool) < self._POOL_MAX and getrefcount(event) == 2:
-                event._value = None
-                self._event_pool.append(event)
+        crash = self._crash
+        if event._holds == 0:
+            self._recycle(event)
+        if crash is not None:
+            self._crash = None
+            raise crash
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or the clock passes *until* ticks.
+
+        If the queue drains before *until*, the clock stays at the last
+        processed event's time — it never fast-forwards past work that
+        doesn't exist (checkpoints taken after such a run must record a
+        tick some event actually reached).
 
         If a process dies with an unhandled exception and no other process
         is waiting on it, the exception propagates out of ``run()``.
 
         When a tracer is installed (:mod:`repro.trace`) the whole run is
-        wrapped in one ``engine.run`` span — never the per-event loop,
-        which stays untouched.
+        wrapped in one ``engine.run`` span and a closing ``engine.frames``
+        instant records the frame-batched dispatch stats — never per-event
+        instrumentation, which would touch the hot loop.
         """
         from repro import trace
 
         tracer = trace.active()
         if tracer is None:
             return self._run_loop(until)
+        frames0, events0 = self._frames, self._events
         with tracer.span("engine.run", track="kernel",
-                         pending=len(self._queue)):
-            return self._run_loop(until)
+                         pending=len(self._sched)):
+            result = self._run_loop(until)
+            tracer.instant("engine.frames", track="kernel",
+                           frames=self._frames - frames0,
+                           events=self._events - events0)
+            return result
 
     def _run_loop(self, until: Optional[int] = None) -> None:
         """The actual event loop (see :meth:`run`).
 
-        The loop body is :meth:`step` inlined — the per-event bookkeeping
-        is the simulator's hottest code, and the method call plus repeated
+        The frame dispatch is inlined — the per-event bookkeeping is the
+        simulator's hottest code, and method calls plus repeated
         attribute loads are measurable at millions of events.
         """
         if until is not None and until < self._now:
             raise SimError(f"until={until} is in the past (now={self._now})")
         global _active_kernel
         _active_kernel = self
+        frames = 0
+        events = 0
+        sched = self._sched
+        pop_frame = sched.pop_frame
+        push = sched.push
+        timeout_pool = self._timeout_pool
+        event_pool = self._event_pool
+        pool_max = self._POOL_MAX
         try:
-            queue = self._queue
-            pop = heapq.heappop
-            timeout_pool = self._timeout_pool
-            event_pool = self._event_pool
-            pool_max = self._POOL_MAX
-            while queue:
-                if until is not None and queue[0][0] > until:
+            while len(sched):
+                if until is not None and sched.peek_time() > until:
                     self._now = until
                     return
-                when, _prio, _seq, event = pop(queue)
+                when, prio, frame = pop_frame()
                 self._now = when
-                callbacks, event.callbacks = event.callbacks, None
-                event._processed = True
-                if callbacks:
-                    for cb in callbacks:
-                        cb(event)
-                if self._crash is not None:
-                    exc, self._crash = self._crash, None
-                    raise exc
-                # recycling: see step() for the reasoning
-                cls = type(event)
-                if cls is Timeout:
-                    if len(timeout_pool) < pool_max and getrefcount(event) == 2:
-                        event._value = None
-                        timeout_pool.append(event)
-                elif cls is Event:
-                    if len(event_pool) < pool_max and getrefcount(event) == 2:
-                        event._value = None
-                        event_pool.append(event)
-            if until is not None:
-                self._now = until
+                frames += 1
+                self._frame = frame
+                self._frame_when = when
+                self._frame_prio = prio
+                i = 0
+                try:
+                    while i < len(frame):
+                        event = frame[i][1]
+                        i += 1
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        event._processed = True
+                        if callbacks:
+                            for cb in callbacks:
+                                cb(event)
+                        if event._holds == 0:
+                            cls = event.__class__
+                            if cls is Timeout:
+                                if len(timeout_pool) < pool_max:
+                                    timeout_pool.append(event)
+                            elif cls is Event:
+                                if len(event_pool) < pool_max:
+                                    event_pool.append(event)
+                        if self._crash is not None:
+                            exc, self._crash = self._crash, None
+                            raise exc
+                        if self._preempt:
+                            self._preempt = False
+                            break
+                finally:
+                    self._frame = None
+                    events += i
+                    if i < len(frame):
+                        # preempted (or crashed): the unprocessed tail
+                        # goes back to the scheduler in original order
+                        for entry in frame[i:]:
+                            push(when, prio, entry[0], entry[1])
         finally:
+            self._frames += frames
+            self._events += events
             _active_kernel = None

@@ -57,6 +57,20 @@ class Resource:
             self._waiters.append(ev)
         return ev
 
+    def try_acquire(self) -> bool:
+        """Take a free slot synchronously; False when none is free.
+
+        Equivalent to :meth:`request` succeeding immediately, minus the
+        grant event — the caller continues in the same dispatch frame it
+        would have resumed in, so uncontended acquisition costs no kernel
+        event.  On False the caller must fall back to ``yield request()``
+        (or queue a callback on it); the slot state is untouched.
+        """
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
+
     def release(self) -> None:
         """Release one held slot, granting the oldest live waiter.
 
@@ -112,6 +126,22 @@ class Store:
         else:
             self._putters.append((ev, item))
         return ev
+
+    def put_nowait(self, item: Any) -> bool:
+        """Enqueue *item* without creating a put event; False when full.
+
+        The fire-and-forget half of :meth:`put`: producers that never
+        wait on the put (work queues, completion queues) otherwise pay a
+        kernel event per item whose only job is to be dispatched empty.
+        Waiting getters are served exactly as :meth:`put` would serve
+        them.  On False (store full) nothing is enqueued and the caller
+        must fall back to ``put()`` to queue as a putter.
+        """
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        self._dispatch()
+        return True
 
     def get(self) -> Event:
         """Dequeue an item; the returned event fires with the item."""

@@ -1,0 +1,228 @@
+"""Pluggable event schedulers for the DES kernel.
+
+The kernel orders events by ``(time, priority, sequence)``.  A scheduler
+stores pending ``(when, priority, seq, event)`` entries and hands them
+back one *frame* at a time — a frame being every entry that shares the
+minimal ``(when, priority)`` key, in sequence order.  Frames are the
+unit of dispatch in :meth:`repro.engine.core.SimKernel.run`: draining
+key-equal events together lets the kernel fuse same-tick cascades
+without re-entering the scheduler.
+
+Two implementations, byte-identity-pinned against each other (see
+tests/test_scheduler.py):
+
+- :class:`HeapScheduler` — the reference: one global binary heap.
+- :class:`CalendarScheduler` — a calendar queue: a power-of-two ring of
+  buckets, each covering ``2**shift`` ticks, with a heap overflow for
+  events beyond the ring horizon.  Short-horizon timeouts (the simulator
+  is dominated by them: WQE fetches, CQE writes, bus holds) become O(1)
+  appends instead of O(log n) sift-ups; overflow entries migrate into
+  the ring as the cursor advances, so each entry pays the heap at most
+  once.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, List, Optional, Tuple
+
+#: one scheduler entry: (when, priority, seq, event)
+Entry = Tuple[int, int, int, Any]
+#: one frame member: (seq, event)
+FrameItem = Tuple[int, Any]
+
+
+class HeapScheduler:
+    """The reference scheduler: a single binary heap (seed behaviour)."""
+
+    kind = "heap"
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, when: int, priority: int, seq: int, event: Any) -> None:
+        heappush(self._heap, (when, priority, seq, event))
+
+    def peek_time(self) -> Optional[int]:
+        """Tick of the next frame, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_frame(self) -> Tuple[int, int, List[FrameItem]]:
+        """Remove and return ``(when, priority, [(seq, event), ...])`` for
+        the minimal key; the list is in ascending sequence order."""
+        heap = self._heap
+        when, prio, seq, event = heappop(heap)
+        frame = [(seq, event)]
+        while heap and heap[0][0] == when and heap[0][1] == prio:
+            entry = heappop(heap)
+            frame.append((entry[2], entry[3]))
+        return when, prio, frame
+
+    def entries(self) -> List[Entry]:
+        """All pending entries in dispatch order (forensics/checkpoint)."""
+        return sorted(self._heap)
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+
+class CalendarScheduler:
+    """A calendar queue: bucket ring for the near future, heap overflow
+    for far events.
+
+    Invariants (kept by construction, audited in repro.audit):
+
+    - every ring entry's slot (``when >> shift``) lies in
+      ``[cursor, cursor + mask]`` — one lap, so a bucket only ever holds
+      entries of a single slot;
+    - the cursor never passes a non-empty bucket;
+    - overflow entries migrate into the ring before any frame selection,
+      so the ring always sees the global minimum.
+    """
+
+    kind = "calendar"
+
+    __slots__ = ("_shift", "_mask", "_buckets", "_cursor", "_count", "_overflow")
+
+    def __init__(self, shift: int = 7, n_buckets: int = 2048) -> None:
+        if n_buckets & (n_buckets - 1):
+            raise ValueError(f"n_buckets must be a power of two, got {n_buckets}")
+        self._shift = shift
+        self._mask = n_buckets - 1
+        self._buckets: List[List[Entry]] = [[] for _ in range(n_buckets)]
+        self._cursor = 0  # slots below this are empty
+        self._count = 0  # entries in the ring
+        self._overflow: List[Entry] = []
+
+    def __len__(self) -> int:
+        return self._count + len(self._overflow)
+
+    def push(self, when: int, priority: int, seq: int, event: Any) -> None:
+        slot = when >> self._shift
+        delta = slot - self._cursor
+        if delta < 0:
+            # the kernel clock context moved back below the cursor (only
+            # possible after an early-stopped run(until=...) advanced the
+            # cursor past `now` while scanning); rebuild around the new
+            # minimum — rare, so correctness beats speed here
+            self._rewind(slot)
+            delta = 0
+        if delta <= self._mask:
+            self._buckets[slot & self._mask].append((when, priority, seq, event))
+            self._count += 1
+        else:
+            heappush(self._overflow, (when, priority, seq, event))
+
+    def _rewind(self, new_slot: int) -> None:
+        pending = [e for bucket in self._buckets for e in bucket]
+        for bucket in self._buckets:
+            del bucket[:]
+        self._count = 0
+        self._cursor = new_slot
+        for entry in pending:
+            self.push(*entry)
+
+    def _migrate(self) -> None:
+        """Pull every overflow entry now within the ring horizon."""
+        overflow = self._overflow
+        if not overflow:
+            return
+        shift = self._shift
+        mask = self._mask
+        limit = self._cursor + mask
+        while overflow and (overflow[0][0] >> shift) <= limit:
+            entry = heappop(overflow)
+            self._buckets[(entry[0] >> shift) & mask].append(entry)
+            self._count += 1
+
+    def _advance(self) -> List[Entry]:
+        """Move the cursor to the first non-empty bucket and return it.
+
+        The caller must ensure the scheduler is non-empty.
+        """
+        self._migrate()
+        if self._count == 0:
+            # ring drained: jump straight to the overflow minimum
+            entry = heappop(self._overflow)
+            self._cursor = entry[0] >> self._shift
+            self._buckets[self._cursor & self._mask].append(entry)
+            self._count = 1
+            self._migrate()
+        buckets = self._buckets
+        mask = self._mask
+        slot = self._cursor
+        while True:
+            bucket = buckets[slot & mask]
+            if bucket:
+                self._cursor = slot
+                return bucket
+            slot += 1
+
+    def peek_time(self) -> Optional[int]:
+        if self._count == 0 and not self._overflow:
+            return None
+        bucket = self._advance()
+        best = bucket[0][0]
+        for entry in bucket:
+            if entry[0] < best:
+                best = entry[0]
+        return best
+
+    def pop_frame(self) -> Tuple[int, int, List[FrameItem]]:
+        bucket = self._advance()
+        if len(bucket) == 1:
+            # sparse queues (small windows, long periods) make one-entry
+            # buckets the common case; skip the scan/rebuild/sort
+            when, prio, seq, event = bucket[0]
+            del bucket[:]
+            self._count -= 1
+            return when, prio, [(seq, event)]
+        # min() compares (when, priority, seq, ...) left-to-right and seq
+        # is unique, so events themselves are never compared
+        best_when, best_prio = min(bucket)[:2]
+        frame = [(e[2], e[3]) for e in bucket if e[0] == best_when and e[1] == best_prio]
+        if len(frame) == len(bucket):
+            del bucket[:]
+        else:
+            bucket[:] = [
+                e for e in bucket if e[0] != best_when or e[1] != best_prio
+            ]
+        self._count -= len(frame)
+        # appends are seq-ordered except across a requeue boundary; a
+        # sort on (nearly) sorted input is O(n) with Timsort
+        frame.sort()
+        return best_when, best_prio, frame
+
+    def entries(self) -> List[Entry]:
+        pending = [e for bucket in self._buckets for e in bucket]
+        pending.extend(self._overflow)
+        pending.sort()
+        return pending
+
+    def clear(self) -> None:
+        for bucket in self._buckets:
+            del bucket[:]
+        self._count = 0
+        self._overflow.clear()
+
+
+#: registry used by SimKernel and the --scheduler CLI flag
+SCHEDULERS = {
+    "heap": HeapScheduler,
+    "calendar": CalendarScheduler,
+}
+
+
+def make_scheduler(kind: str):
+    """Instantiate a scheduler by registry name."""
+    try:
+        return SCHEDULERS[kind]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {kind!r} (choose from {sorted(SCHEDULERS)})"
+        ) from None

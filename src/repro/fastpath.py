@@ -77,6 +77,52 @@ def forced(flag: bool) -> Iterator[None]:
         _enabled = prior
 
 
+# ---------------------------------------------------------------------------
+# the event-fold switch
+#
+# Orthogonal to the costing switch above: folding replaces the adapter's
+# per-message generator processes with equivalent callback chains (see
+# ``repro.ib.hca``), cutting kernel events and generator resumes without
+# changing a single cost formula.  It is therefore active on BOTH costing
+# paths AND under the sanitizer (its hooks are synchronous calls the
+# fold chains make too); this switch exists so equivalence tests (and
+# debugging) can pin a run onto the per-hop process machinery that
+# folding replaces.  Tracing (per message) and fault plans (per HCA)
+# pin that machinery on their own — the fold has no span sites and no
+# per-packet decision points; this is the global override.
+# ---------------------------------------------------------------------------
+
+_fold: bool = os.environ.get("REPRO_NO_FOLD", "").strip().lower() not in (
+    "1",
+    "true",
+    "yes",
+    "on",
+)
+
+
+def fold_enabled() -> bool:
+    """True while the adapter event folds are allowed."""
+    return _fold
+
+
+def set_fold(flag: bool) -> None:
+    """Turn the adapter event folds on or off globally."""
+    global _fold
+    _fold = bool(flag)
+
+
+@contextmanager
+def fold_forced(flag: bool) -> Iterator[None]:
+    """Context manager: pin the fold switch to *flag* for the body."""
+    global _fold
+    prior = _fold
+    _fold = bool(flag)
+    try:
+        yield
+    finally:
+        _fold = prior
+
+
 def lru_sweep(array: "dict", first_key: int, n_keys: int, stride: int, capacity: int):
     """Replay a sequential LRU sweep in bulk; returns ``(hits, misses)``.
 

@@ -27,6 +27,30 @@ the bus read channel, the scatter path the write channel.  On a
 half-duplex bus (PCI-X) these are the same resource, which is how ATT
 stalls become visible in bandwidth exactly as §5.1 describes for the
 Xeon system.
+
+Event folding
+-------------
+
+On the clean path (no fault plan, no tracer, ``fastpath.fold_enabled()``)
+the per-message generator processes above are replaced by equivalent
+*callback chains*: the same bus holds at the same ticks, the same ATT
+walks at the same points, the same delivery and completion instants —
+but as a handful of scheduled callbacks instead of a spawned process
+with a resume per ``yield``.  A folded send costs 3 kernel events where
+the process form costs ~8; a folded receive costs 3 where the process
+form costs ~7.  Uncontended resource grants are taken synchronously
+(:meth:`repro.engine.resources.Resource.try_acquire`) and fire-and-
+forget queue puts skip their acknowledgement event
+(:meth:`repro.engine.resources.Store.put_nowait`).
+
+Folding never changes a cost formula, so it is active on BOTH costing
+paths and under the sanitizer (the sanitize hooks are synchronous calls
+and run at the same model points).  Fault plans pin the process
+machinery per-HCA (retransmission needs the watchdog/idempotence
+bookkeeping interleaved with the pipeline), an active tracer pins it
+per-message (the ``ib.tx``/``ib.rx`` spans wrap generator bodies), and
+``REPRO_NO_FOLD=1`` / :func:`repro.fastpath.set_fold` pins it globally
+so equivalence tests can diff the two machineries.
 """
 
 from __future__ import annotations
@@ -285,7 +309,14 @@ class HCA:
             if plan.ack_timeout_ns is not None:
                 qp.ack_timeout_ns = plan.ack_timeout_ns
         self._qps[qp.qp_num] = qp
-        self.kernel.process(self._send_loop(qp), name=f"{self.name}-sq{qp.qp_num}")
+        if self.faults is not None:
+            # retransmission needs the watchdog and idempotence handling
+            # woven through the pipeline: keep the process machinery
+            self.kernel.process(
+                self._send_loop(qp), name=f"{self.name}-sq{qp.qp_num}"
+            )
+        else:
+            self._tx_rearm(qp)
         return qp
 
     # -- posting (CPU side) -----------------------------------------------------------
@@ -323,9 +354,10 @@ class HCA:
             + self.bus.doorbell_ns()
         )
         self.counters.add("hca.post_send")
-        yield qp.wr_slots.request()  # blocks while the queue is full
+        if not qp.wr_slots.try_acquire():  # blocks while the queue is full
+            yield qp.wr_slots.request()
         yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
-        qp.send_q.put(wr)
+        qp.send_q.put_nowait(wr)
 
     def post_recv(self, qp: QueuePair, wr: RecvWR) -> Generator:
         """Post a receive WR (no doorbell on the fast path)."""
@@ -341,12 +373,14 @@ class HCA:
         ns = self.config.post_base_ns * 0.6 + len(wr.sges) * self.config.post_per_sge_ns
         self.counters.add("hca.post_recv")
         yield self.kernel.timeout(self.clock.ns_to_ticks(ns))
-        qp.recv_q.put(wr)
+        qp.recv_q.put_nowait(wr)
 
     # -- completion consumption (CPU side) ------------------------------------------------
     def wait_completion(self, cq: CompletionQueue) -> Generator:
         """Block until a CQE is available, consume it (one poll cost)."""
-        wc = yield cq.store.get()
+        wc = cq.store.try_get()
+        if wc is None:
+            wc = yield cq.store.get()
         yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.poll_ns))
         return wc
 
@@ -360,6 +394,100 @@ class HCA:
         while True:
             wr = yield qp.send_q.get()
             yield from self._handle_send(qp, wr)
+
+    # -- folded send pipeline (see "Event folding" in the module docstring) --
+    def _after(self, delay_ticks: int, callback) -> None:
+        """Schedule *callback* to run after *delay_ticks* (one event)."""
+        ev = self.kernel.event()
+        ev._triggered = True
+        ev.callbacks.append(callback)
+        self.kernel._schedule(ev, delay_ticks, NORMAL)
+
+    def _tx_rearm(self, qp: QueuePair) -> None:
+        """Arm the folded send engine: wait for the next posted WR."""
+        ev = qp.send_q.get()
+        ev.callbacks.append(lambda ev, qp=qp: self._tx_begin(qp, ev.value))
+
+    def _tx_begin(self, qp: QueuePair, wr: SendWR) -> None:
+        if (
+            trace.active() is not None
+            or not fastpath.fold_enabled()
+            or not qp.connected
+        ):
+            # tracer spans wrap the generator body; flushes and debugging
+            # take the process form too.  The process re-arms on exit so
+            # the engine keeps running whichever machinery handled it.
+            def _one(qp=qp, wr=wr):
+                yield from self._handle_send(qp, wr)
+                self._tx_rearm(qp)
+
+            self.kernel.process(_one(), name=f"{self.name}-tx{qp.qp_num}")
+            return
+        # WQE fetch is a short exclusive bus read
+        if self.bus.read_channel.try_acquire():
+            self._tx_fetch(qp, wr)
+        else:
+            ev = self.bus.read_channel.request()
+            ev.callbacks.append(
+                lambda _ev, qp=qp, wr=wr: self._tx_fetch(qp, wr)
+            )
+
+    def _tx_fetch(self, qp: QueuePair, wr: SendWR) -> None:
+        self._after(
+            self.clock.ns_to_ticks(self.bus.wqe_fetch_ns(len(wr.sges))),
+            lambda _ev, qp=qp, wr=wr: self._tx_launch(qp, wr),
+        )
+
+    def _tx_launch(self, qp: QueuePair, wr: SendWR) -> None:
+        # mirrors the body of _handle_send_impl between its two bus
+        # holds: same costs, same ATT walk point, same delivery instant
+        cfg = self.config
+        self.bus.read_channel.release()
+        if wr.opcode == "rdma_read":
+            gather_ns = 0.0
+            ser_ns = self.link.serialization_ns(16)
+        else:
+            gather_ns = self._gather_ns(wr)
+            ser_ns = self.link.serialization_ns(wr.total_bytes)
+        stream_ns = max(gather_ns, ser_ns)
+        seq = next(_seq)
+        self._outstanding[seq] = (qp, wr)
+        packet = _Packet(
+            kind=wr.opcode,
+            src_qp=qp.qp_num,
+            dst_qp=qp.peer_qp_num,
+            seq=seq,
+            wr_id=wr.wr_id,
+            nbytes=wr.total_bytes,
+            payload=wr.payload,
+            remote_addr=wr.remote_addr,
+            rkey=wr.rkey,
+            stream_ns=stream_ns,
+        )
+        self.counters.add("hca.tx_messages")
+        if wr.opcode != "rdma_read":
+            self.counters.add("hca.tx_bytes", wr.total_bytes)
+        wire = self.wire_to(qp.peer_hca)
+        self._deliver(
+            wire,
+            packet,
+            self.clock.ns_to_ticks(cfg.process_ns + self.link.config.latency_ns),
+        )
+        gather_ticks = self.clock.ns_to_ticks(gather_ns)
+        if self.bus.read_channel.try_acquire():
+            self._tx_drain(qp, gather_ticks)
+        else:
+            ev = self.bus.read_channel.request()
+            ev.callbacks.append(
+                lambda _ev, qp=qp, t=gather_ticks: self._tx_drain(qp, t)
+            )
+
+    def _tx_drain(self, qp: QueuePair, gather_ticks: int) -> None:
+        self._after(gather_ticks, lambda _ev, qp=qp: self._tx_done(qp))
+
+    def _tx_done(self, qp: QueuePair) -> None:
+        self.bus.read_channel.release()
+        self._tx_rearm(qp)
 
     def _att_range_ns(self, mr: MemoryRegion, addr: int, nbytes: int) -> float:
         """ATT stall for a DMA over ``[addr, addr+nbytes)`` of *mr*.
@@ -489,7 +617,7 @@ class HCA:
         if self.faults is not None:
             self.faults.counters.add("faults.qp.flushed")
         yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.cqe_write_ns))
-        qp.send_cq.store.put(
+        qp.send_cq.store.put_nowait(
             WorkCompletion(
                 wr_id=wr.wr_id,
                 opcode=wr.opcode,
@@ -609,7 +737,7 @@ class HCA:
         if qp.state == "RTS":
             qp.modify("SQE")
         yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.cqe_write_ns))
-        qp.send_cq.store.put(
+        qp.send_cq.store.put_nowait(
             WorkCompletion(
                 wr_id=wr.wr_id,
                 opcode=wr.opcode,
@@ -638,7 +766,7 @@ class HCA:
             qp, wr = entry
 
             def _complete(_ev, qp=qp, wr=wr, status=packet.status):
-                qp.send_cq.store.put(
+                qp.send_cq.store.put_nowait(
                     WorkCompletion(
                         wr_id=wr.wr_id,
                         opcode=wr.opcode,
@@ -648,13 +776,21 @@ class HCA:
                 )
                 qp.wr_slots.release()
 
-            ev = self.kernel.event()
-            ev._triggered = True
-            ev.callbacks.append(_complete)
-            self.kernel._schedule(
-                ev, self.clock.ns_to_ticks(self.config.cqe_write_ns), NORMAL
+            self._after(
+                self.clock.ns_to_ticks(self.config.cqe_write_ns), _complete
             )
             return
+        if (
+            self.faults is None
+            and trace.active() is None
+            and fastpath.fold_enabled()
+        ):
+            if packet.kind == "send":
+                self._rx_send_begin(packet, wire)
+                return
+            if packet.kind == "rdma_write":
+                self._rx_write_begin(packet, wire)
+                return
         self.kernel.process(
             self._receive(packet, wire), name=f"{self.name}-rx-{packet.kind}"
         )
@@ -705,7 +841,7 @@ class HCA:
             raise IBVerbsError(f"ack for unknown sequence {packet.seq}")
         qp, wr = entry
         yield self.kernel.timeout(self.clock.ns_to_ticks(self.config.cqe_write_ns))
-        qp.send_cq.store.put(
+        qp.send_cq.store.put_nowait(
             WorkCompletion(
                 wr_id=wr.wr_id,
                 opcode=wr.opcode,
@@ -742,6 +878,120 @@ class HCA:
         ns += self.bus.stream_ns(payload_bytes)
         return ns
 
+    # -- folded receive pipeline (see "Event folding" in the module docstring) --
+    def _rx_send_begin(self, packet: _Packet, wire: Wire) -> None:
+        """Folded two-sided receive: same ticks as :meth:`_receive_send`."""
+        qp = self._qps.get(packet.dst_qp)
+        if qp is None:
+            raise IBVerbsError(f"send targets unknown QP {packet.dst_qp}")
+        recv_wr = qp.recv_q.try_get()
+        if recv_wr is not None:
+            self._rx_send_fetch(qp, recv_wr, packet, wire)
+        else:
+            # no posted receive yet: wait for one (the RNR-wait model)
+            ev = qp.recv_q.get()
+            ev.callbacks.append(
+                lambda ev, qp=qp, packet=packet, wire=wire: self._rx_send_fetch(
+                    qp, ev.value, packet, wire
+                )
+            )
+
+    def _rx_send_fetch(
+        self, qp: QueuePair, recv_wr: RecvWR, packet: _Packet, wire: Wire
+    ) -> None:
+        status = "success"
+        if recv_wr.total_bytes < packet.nbytes:
+            status = "local-length-error"
+        self._after(
+            self.clock.ns_to_ticks(self.config.recv_wqe_ns),
+            lambda _ev: self._rx_send_grant(qp, recv_wr, packet, wire, status),
+        )
+
+    def _rx_send_grant(
+        self, qp: QueuePair, recv_wr: RecvWR, packet: _Packet, wire: Wire,
+        status: str,
+    ) -> None:
+        if self.bus.write_channel.try_acquire():
+            self._rx_send_scatter(qp, recv_wr, packet, wire, status)
+        else:
+            ev = self.bus.write_channel.request()
+            ev.callbacks.append(
+                lambda _ev: self._rx_send_scatter(qp, recv_wr, packet, wire, status)
+            )
+
+    def _rx_send_scatter(
+        self, qp: QueuePair, recv_wr: RecvWR, packet: _Packet, wire: Wire,
+        status: str,
+    ) -> None:
+        # ATT walked at the grant instant, exactly as the process form
+        scatter_ns = self._scatter_ns(
+            recv_wr.sges, min(packet.nbytes, recv_wr.total_bytes)
+        )
+        ns = max(scatter_ns, packet.stream_ns) + self.config.cqe_write_ns
+        self._after(
+            self.clock.ns_to_ticks(ns),
+            lambda _ev: self._rx_send_done(qp, recv_wr, packet, wire, status),
+        )
+
+    def _rx_send_done(
+        self, qp: QueuePair, recv_wr: RecvWR, packet: _Packet, wire: Wire,
+        status: str,
+    ) -> None:
+        self.bus.write_channel.release()
+        self.counters.add("hca.rx_messages")
+        self.counters.add("hca.rx_bytes", packet.nbytes)
+        qp.recv_cq.store.put_nowait(
+            WorkCompletion(
+                wr_id=recv_wr.wr_id,
+                opcode="recv",
+                byte_len=packet.nbytes,
+                status=status,
+                payload=packet.payload,
+            )
+        )
+        self._send_ack(packet, status, wire)
+
+    def _rx_write_begin(self, packet: _Packet, wire: Wire) -> None:
+        """Folded one-sided write: same ticks as :meth:`_receive_rdma_write`."""
+        mr = self._mrs_by_rkey.get(packet.rkey)
+        san = sanitize._active
+        if san is not None and san.mr:
+            san.check_rkey(mr, packet.rkey, packet.remote_addr,
+                           packet.nbytes, "rdma_write.rx")
+        if (
+            mr is None
+            or not mr.registered
+            or not mr.contains(packet.remote_addr, packet.nbytes)
+        ):
+            self._send_ack(packet, "remote-access-error", wire)
+            return
+        if self.bus.write_channel.try_acquire():
+            self._rx_write_scatter(mr, packet, wire)
+        else:
+            ev = self.bus.write_channel.request()
+            ev.callbacks.append(
+                lambda _ev: self._rx_write_scatter(mr, packet, wire)
+            )
+
+    def _rx_write_scatter(self, mr: MemoryRegion, packet: _Packet, wire: Wire) -> None:
+        scatter_ns = self.bus.config.dma_setup_ns
+        scatter_ns += self._att_range_ns(mr, packet.remote_addr, packet.nbytes)
+        scatter_ns += self.bus.bursts_for(packet.remote_addr, packet.nbytes) * \
+            self.bus.config.burst_ns
+        scatter_ns += self.bus.stream_ns(packet.nbytes)
+        ns = max(scatter_ns, packet.stream_ns)
+        self._after(
+            self.clock.ns_to_ticks(ns),
+            lambda _ev: self._rx_write_done(packet, wire),
+        )
+
+    def _rx_write_done(self, packet: _Packet, wire: Wire) -> None:
+        self.bus.write_channel.release()
+        self.rdma_landed[(packet.rkey, packet.remote_addr)] = packet.payload
+        self.counters.add("hca.rx_messages")
+        self.counters.add("hca.rx_bytes", packet.nbytes)
+        self._send_ack(packet, "success", wire)
+
     def _receive_send(self, packet: _Packet, wire: Wire) -> Generator:
         qp = self._qps.get(packet.dst_qp)
         if qp is None:
@@ -766,7 +1016,7 @@ class HCA:
             self.bus.write_channel.release()
         self.counters.add("hca.rx_messages")
         self.counters.add("hca.rx_bytes", packet.nbytes)
-        qp.recv_cq.store.put(
+        qp.recv_cq.store.put_nowait(
             WorkCompletion(
                 wr_id=recv_wr.wr_id,
                 opcode="recv",
@@ -881,7 +1131,7 @@ class HCA:
                 self.bus.write_channel.release()
             self.counters.add("hca.rx_messages")
             self.counters.add("hca.rx_bytes", packet.nbytes)
-        qp.send_cq.store.put(
+        qp.send_cq.store.put_nowait(
             WorkCompletion(
                 wr_id=wr.wr_id,
                 opcode="rdma_read",

@@ -73,6 +73,24 @@ class IBLink:
         """First-byte latency + serialization: one message, one way."""
         return self.config.latency_ns + self.serialization_ns(nbytes)
 
+    def train_ns(self, nbytes: int, count: int) -> float:
+        """Closed-form serialization of a back-to-back message train.
+
+        A train of *count* equal messages pipelines at packet
+        granularity: the link never idles between messages, so the wire
+        time is exactly ``count * serialization_ns(nbytes)`` — the
+        N-packet DATA train of one message and the M-message train of a
+        window both collapse to the same per-packet arithmetic.  The
+        first-byte latency is paid once per train, not per message; the
+        caller adds it (see :meth:`transfer_ns`).  This is the wire half
+        of the folded delivery model (see "Event folding" in
+        :mod:`repro.ib.hca`) and is pinned tick-exact against the DES
+        pipeline by ``tests/test_wire_train.py``.
+        """
+        if count < 0:
+            raise ValueError(f"negative message count {count}")
+        return count * self.serialization_ns(nbytes)
+
     def ack_ns(self) -> float:
         """A zero-payload RC acknowledgement coming back."""
         return self.config.latency_ns + self.config.packet_ns

@@ -42,7 +42,10 @@ def send_through_bounce(endpoint, dest: int, env, wire_bytes: int,
                         addr: Optional[int]) -> Generator:
     """Copy (if a source address is known) into a free bounce buffer and
     post one send WR carrying *env*; returns after local completion."""
-    buf_addr, mr = yield endpoint.bounce_pool.get()
+    buf = endpoint.bounce_pool.try_get()
+    if buf is None:
+        buf = yield endpoint.bounce_pool.get()
+    buf_addr, mr = buf
     try:
         if addr is not None and wire_bytes > 0:
             cost = endpoint.proc.engine.copy(addr, buf_addr, wire_bytes)
@@ -67,7 +70,7 @@ def send_through_bounce(endpoint, dest: int, env, wire_bytes: int,
                 f"{dest} ({wire_bytes} B) aborted: {exc}"
             ) from exc
     finally:
-        endpoint.bounce_pool.put((buf_addr, mr))
+        endpoint.bounce_pool.put_nowait((buf_addr, mr))
 
 
 def send_ctrl(endpoint, dest: int, env) -> Generator:

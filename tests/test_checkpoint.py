@@ -120,6 +120,25 @@ class TestQuiescence:
             restore_cluster(snap)
         cluster.kernel.run()  # drain so the cluster dies quiescent
 
+    def test_drained_run_until_stamps_real_tick(self):
+        """Regression: ``run(until=T)`` used to fast-forward the clock to
+        T even when the queue drained earlier, so a snapshot taken after
+        such a run stamped a tick no event ever reached — and a resumed
+        run disagreed with an uninterrupted one on every later timestamp."""
+        cluster = Cluster(presets.opteron_infinihost_pcie(), 2)
+        k = cluster.kernel
+
+        def proc():
+            yield k.timeout(10)
+
+        k.process(proc())
+        k.run(until=1_000_000)
+        assert k.now == 10  # not 1_000_000
+        snap = capture_cluster(cluster)
+        assert snap["kernel"]["now"] == 10
+        restored = restore_cluster(snap)
+        assert restored.kernel.now == 10
+
     def test_restore_refuses_wrong_kind(self):
         with pytest.raises(CheckpointError, match="not a cluster snapshot"):
             restore_cluster({"kind": "run-ledger"})
@@ -273,11 +292,10 @@ class TestRunCheckpointer:
 
         bad = Cluster(presets.opteron_infinihost_pcie(), 1)
         bad.kernel._now = 100
-        heapq.heappush(bad.kernel._queue,
-                       (50, 1, 0, bad.kernel.event()))
+        bad.kernel._sched.push(50, 1, 0, bad.kernel.event())
         with pytest.raises(AuditError):
             ck.run_unit("bad", lambda: (1, 0, bad))
-        bad.kernel._queue.clear()
+        bad.kernel._sched.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -283,6 +283,30 @@ class TestInternStr:
         assert rules_of(code) == []
 
 
+class TestRefcountProbe:
+    def test_dotted_call_flagged(self):
+        assert rules_of("import sys\nif sys.getrefcount(ev) == 2:\n"
+                        "    pool.append(ev)\n") == ["refcount-probe"]
+
+    def test_bare_call_and_import_flagged(self):
+        # the import alone is a finding, so smuggling the name in
+        # costs one hit and the call a second
+        code = ("from sys import getrefcount\n"
+                "n = getrefcount(obj)\n")
+        assert rules_of(code) == ["refcount-probe", "refcount-probe"]
+
+    def test_unrelated_sys_use_allowed(self):
+        code = ("import sys\n"
+                "from sys import maxsize\n"
+                "sys.exit(0)\n")
+        assert rules_of(code) == []
+
+    def test_suppressed(self):
+        code = ("import sys\n"
+                "n = sys.getrefcount(x)  # detlint: ignore[refcount-probe]\n")
+        assert rules_of(code) == []
+
+
 class TestSuppressionForms:
     def test_bare_ignore_silences_everything(self):
         code = "import time\nt = time.time()  # detlint: ignore\n"
@@ -310,6 +334,7 @@ class TestHarness:
             "socket-io": "s = socket.socket()\n",
             "mutable-class-attr": "class C:\n    xs = []\n",
             "intern-str": "k = sys.intern(v)\n",
+            "refcount-probe": "n = sys.getrefcount(v)\n",
         }
         assert set(samples) == set(RULES)
         for rule, code in samples.items():

@@ -1,0 +1,544 @@
+"""Scheduler pinning: the calendar queue against the reference heap.
+
+Four layers of guarantees:
+
+- :class:`CalendarScheduler` unit behaviour — cross-bucket ordering,
+  overflow migration, the rewind path, frame grouping;
+- property-based equivalence (hypothesis): arbitrary entry streams and
+  arbitrary kernel programs (timeouts, same-tick ties, urgent
+  interrupts, zero-delay completions, far-horizon sleeps) dispatch in
+  byte-identical order under ``heap`` and ``calendar``;
+- same-tick fusion and urgent preemption of the live dispatch frame;
+- the PR's kernel bugfix regressions: explicit event ownership
+  (``hold``/``release`` instead of the refcount-recycling heuristic),
+  ``run(until=...)`` never fast-forwarding past a drained queue, and
+  pooled ``Timeout`` reset being indistinguishable from construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    SCHEDULERS,
+    CalendarScheduler,
+    Event,
+    HeapScheduler,
+    Interrupt,
+    SimError,
+    SimKernel,
+    Timeout,
+)
+from repro.engine.core import NORMAL, URGENT
+from repro.engine.sched import make_scheduler
+
+#: one full lap of the default ring: 2048 buckets x 2**7 ticks
+RING_HORIZON = 2048 << 7
+
+
+@pytest.fixture(params=sorted(SCHEDULERS))
+def kernel(request):
+    """One kernel per registered scheduler — every test in this module
+    that takes `kernel` runs under both."""
+    return SimKernel(request.param)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def test_registry_kinds():
+    assert make_scheduler("heap").kind == "heap"
+    assert make_scheduler("calendar").kind == "calendar"
+    assert SimKernel("calendar").scheduler_kind == "calendar"
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        make_scheduler("splay")
+    with pytest.raises(ValueError):
+        SimKernel("splay")
+
+
+def test_calendar_requires_power_of_two_buckets():
+    with pytest.raises(ValueError, match="power of two"):
+        CalendarScheduler(n_buckets=3)
+
+
+# ---------------------------------------------------------------------------
+# CalendarScheduler unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestCalendarUnit:
+    def test_orders_across_buckets(self):
+        cal = CalendarScheduler()
+        times = [513, 0, 128, 3, 129, 7000, 127, 512]
+        for seq, when in enumerate(times):
+            cal.push(when, NORMAL, seq, f"ev{seq}")
+        assert len(cal) == len(times)
+        popped = []
+        while len(cal):
+            when, prio, frame = cal.pop_frame()
+            assert prio == NORMAL
+            popped.extend((when, seq) for seq, _ in frame)
+        assert popped == sorted((when, seq) for seq, when in enumerate(times))
+
+    def test_frame_groups_key_equal_entries_in_seq_order(self):
+        cal = CalendarScheduler()
+        cal.push(40, NORMAL, 1, "a")
+        cal.push(50, NORMAL, 2, "later")
+        cal.push(40, NORMAL, 3, "b")
+        cal.push(40, URGENT, 4, "urgent")
+        when, prio, frame = cal.pop_frame()
+        assert (when, prio) == (40, URGENT)
+        assert frame == [(4, "urgent")]
+        when, prio, frame = cal.pop_frame()
+        assert (when, prio) == (40, NORMAL)
+        assert frame == [(1, "a"), (3, "b")]
+        assert cal.pop_frame() == (50, NORMAL, [(2, "later")])
+
+    def test_far_events_overflow_then_migrate(self):
+        cal = CalendarScheduler()
+        far = RING_HORIZON + 12345
+        cal.push(far, NORMAL, 1, "far")
+        assert cal._overflow and cal._count == 0  # beyond the ring horizon
+        cal.push(10, NORMAL, 2, "near")
+        assert cal.peek_time() == 10
+        assert cal.pop_frame() == (10, NORMAL, [(2, "near")])
+        # popping the near event advances the cursor; the far entry now
+        # fits the ring and must migrate out of the overflow heap
+        assert cal.pop_frame() == (far, NORMAL, [(1, "far")])
+        assert not cal._overflow and len(cal) == 0
+
+    def test_drained_ring_jumps_to_overflow_minimum(self):
+        cal = CalendarScheduler()
+        cal.push(10_000_000, NORMAL, 1, "deep")
+        cal.push(90_000_000, NORMAL, 2, "deeper")
+        assert cal.peek_time() == 10_000_000
+        assert cal.pop_frame()[2] == [(1, "deep")]
+        assert cal.pop_frame()[2] == [(2, "deeper")]
+
+    def test_push_below_cursor_rewinds(self):
+        cal = CalendarScheduler()
+        cal.push(10_000_000, NORMAL, 1, "deep")
+        cal.push(10_000_400, NORMAL, 2, "deep2")
+        assert cal.pop_frame()[2] == [(1, "deep")]
+        # the cursor now sits at slot 10_000_000 >> 7; a push far below
+        # it must rebuild the ring around the new minimum, keeping the
+        # still-pending deep entry
+        cal.push(5, NORMAL, 3, "early")
+        assert cal.entries() == [
+            (5, NORMAL, 3, "early"),
+            (10_000_400, NORMAL, 2, "deep2"),
+        ]
+        assert cal.pop_frame() == (5, NORMAL, [(3, "early")])
+        assert cal.pop_frame() == (10_000_400, NORMAL, [(2, "deep2")])
+
+    def test_entries_and_clear(self):
+        cal = CalendarScheduler()
+        cal.push(99, NORMAL, 1, "x")
+        cal.push(RING_HORIZON * 3, NORMAL, 2, "y")
+        assert [e[0] for e in cal.entries()] == [99, RING_HORIZON * 3]
+        cal.clear()
+        assert len(cal) == 0
+        assert cal.peek_time() is None
+        assert cal.entries() == []
+
+
+# ---------------------------------------------------------------------------
+# property: heap and calendar are byte-identical
+# ---------------------------------------------------------------------------
+
+_entry_lists = st.lists(
+    st.tuples(st.integers(0, 1 << 22), st.integers(0, 1)),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_entry_lists)
+def test_schedulers_pop_identical_frames(entries):
+    heap, cal = HeapScheduler(), CalendarScheduler()
+    for seq, (when, prio) in enumerate(entries):
+        heap.push(when, prio, seq, seq)
+        cal.push(when, prio, seq, seq)
+    assert heap.entries() == cal.entries()
+    while len(heap):
+        assert heap.pop_frame() == cal.pop_frame()
+    assert len(cal) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(0, 1 << 21), st.integers(0, 1)),
+            st.tuples(st.just("pop"), st.just(0), st.just(0)),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_interleaved_push_pop_equivalence(ops):
+    """Pops interleaved with pushes — including pushes *below* entries
+    already popped, which drives the calendar's rewind path."""
+    heap, cal = HeapScheduler(), CalendarScheduler()
+    seq = 0
+    for op, when, prio in ops:
+        if op == "push":
+            seq += 1
+            heap.push(when, prio, seq, seq)
+            cal.push(when, prio, seq, seq)
+        elif len(heap):
+            assert heap.pop_frame() == cal.pop_frame()
+    while len(heap):
+        assert heap.pop_frame() == cal.pop_frame()
+    assert len(cal) == 0
+
+
+def _run_program(scheduler: str, ops):
+    """Execute one op-list program and return its full dispatch log."""
+    k = SimKernel(scheduler)
+    log = []
+    live = []
+    interrupted = set()
+
+    def sleeper(wid, delay):
+        try:
+            yield k.timeout(delay, value=wid)
+            log.append(("wake", k.now, wid))
+        except Interrupt as exc:
+            log.append(("intr", k.now, wid, exc.cause))
+
+    def waiter(ev, wid):
+        try:
+            value = yield ev
+            log.append(("ok", k.now, wid, value))
+        except RuntimeError:
+            log.append(("err", k.now, wid))
+
+    def driver():
+        for wid, (kind, delay, gap) in enumerate(ops):
+            if kind == 0:
+                live.append(k.process(sleeper(wid, delay)))
+            elif kind == 1:  # same-tick tie: two sleepers, one wake tick
+                live.append(k.process(sleeper((wid, "a"), delay)))
+                live.append(k.process(sleeper((wid, "b"), delay)))
+            elif kind == 2:  # beyond the calendar ring horizon
+                live.append(k.process(sleeper(wid, delay * 3000 + RING_HORIZON)))
+            elif kind == 3:  # urgent interrupt of the oldest live sleeper
+                target = next(
+                    (p for p in live if p.is_alive and p not in interrupted),
+                    None,
+                )
+                if target is not None:
+                    interrupted.add(target)
+                    target.interrupt(cause=wid)
+            else:  # zero-delay completion racing the current frame
+                ev = k.event()
+                k.process(waiter(ev, wid))
+                if delay % 2:
+                    ev.fail(RuntimeError("boom"))
+                else:
+                    ev.succeed(value=wid)
+            if gap:
+                yield k.timeout(gap)
+                log.append(("drv", k.now, wid))
+
+    k.process(driver(), name="driver")
+    k.run()
+    log.append(("end", k.now))
+    return log
+
+
+_programs = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 400), st.integers(0, 50)),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_programs)
+def test_heap_calendar_equivalent_programs(ops):
+    assert _run_program("heap", ops) == _run_program("calendar", ops)
+
+
+def test_heap_calendar_equivalent_reference_program():
+    """A fixed program touching every op kind — runs without hypothesis
+    so a plain ``pytest tests/test_scheduler.py`` still pins the kernels."""
+    ops = [
+        (0, 10, 5),
+        (1, 7, 0),
+        (4, 3, 2),
+        (2, 100, 1),
+        (3, 0, 4),
+        (1, 0, 0),
+        (4, 2, 9),
+        (3, 0, 0),
+        (0, 0, 30),
+        (2, 1, 0),
+    ]
+    heap_log = _run_program("heap", ops)
+    assert heap_log == _run_program("calendar", ops)
+    assert len(heap_log) > 10  # the program actually did something
+
+
+# ---------------------------------------------------------------------------
+# same-tick fusion and urgent preemption
+# ---------------------------------------------------------------------------
+
+
+def test_same_tick_cascade_fuses_into_one_frame(kernel):
+    done = []
+
+    def chain(n):
+        for _ in range(n):
+            yield kernel.timeout(0)
+        done.append(kernel.now)
+
+    kernel.process(chain(10))
+    kernel.run()
+    assert done == [0]
+    # one URGENT frame (the Initialize) plus one NORMAL frame holding
+    # all ten zero-delay timeouts and the process-completion event —
+    # fusion keeps the scheduler out of the cascade entirely
+    assert kernel._frames == 2
+    assert kernel._events == 12
+
+
+def test_urgent_preempts_live_frame(kernel):
+    order = []
+
+    def a():
+        yield kernel.timeout(5)
+        order.append("A")
+        ev = kernel.event()
+        ev._triggered = True
+        ev.callbacks.append(lambda _ev: order.append("U"))
+        kernel._schedule(ev, 0, URGENT)
+
+    def b():
+        yield kernel.timeout(5)
+        order.append("B")
+
+    kernel.process(a())
+    kernel.process(b())
+    kernel.run()
+    # the urgent event outranks the rest of the tick-5 NORMAL frame: B's
+    # wake is requeued and runs after it
+    assert order == ["A", "U", "B"]
+
+
+def test_fused_events_observe_monotonic_clock(kernel):
+    stamps = []
+
+    def p(delay):
+        yield kernel.timeout(delay)
+        stamps.append(kernel.now)
+        yield kernel.timeout(0)
+        stamps.append(kernel.now)
+
+    kernel.process(p(3))
+    kernel.process(p(3))
+    kernel.run()
+    assert stamps == [3, 3, 3, 3]
+
+
+# ---------------------------------------------------------------------------
+# regression: explicit event ownership (hold/release)
+# ---------------------------------------------------------------------------
+
+
+class TestEventOwnership:
+    """The seed kernel recycled any event whose ``sys.getrefcount``
+    dropped to 2 — a heuristic that broke the moment a callback stashed
+    the event somewhere the counter couldn't see (a closure cell, a C
+    extension, a debugger).  The kernel now recycles on an explicit
+    ``_holds`` count; these tests pin both directions of that contract
+    and fail on the heuristic kernel."""
+
+    def test_unheld_kernel_events_are_recycled(self, kernel):
+        ev = kernel.timeout(3)
+        kernel.run()
+        # LIFO pool: the spent timeout is reissued even though this
+        # frame still holds a local reference to it (the refcount
+        # heuristic would have refused — `ev` keeps the count above 2)
+        assert kernel.timeout(1) is ev
+
+    def test_held_event_value_survives_pool_churn(self, kernel):
+        held = []
+        first = kernel.timeout(5, value="original")
+        first.callbacks.append(lambda ev: held.append(ev.hold()))
+        kernel.run()
+
+        def churn():
+            for i in range(3 * SimKernel._POOL_MAX):
+                yield kernel.timeout(1, value=("churn", i))
+
+        kernel.process(churn())
+        kernel.run()
+        [ev] = held
+        assert ev is first
+        assert ev.value == "original"  # heuristic kernel: clobbered by reuse
+        ev.release()
+        # released and processed: back in the pool, reissued next
+        assert kernel.timeout(1) is ev
+
+    def test_release_without_hold_raises(self, kernel):
+        ev = kernel.timeout(1)  # kernel-owned: zero holds to give back
+        with pytest.raises(SimError, match="release"):
+            ev.release()
+
+    def test_directly_constructed_events_are_creator_owned(self, kernel):
+        ev = Event(kernel)
+        ev.succeed(value=7)
+        kernel.run()
+        assert ev.value == 7
+        assert kernel.event() is not ev
+
+    def test_pools_are_bounded(self, kernel):
+        for _ in range(2 * SimKernel._POOL_MAX):
+            kernel.timeout(1)
+        kernel.run()
+        assert len(kernel._timeout_pool) <= SimKernel._POOL_MAX
+
+
+# ---------------------------------------------------------------------------
+# regression: run(until=...) vs a drained queue
+# ---------------------------------------------------------------------------
+
+
+class TestRunUntil:
+    """``run(until=T)`` used to fast-forward the clock to T even when
+    the queue drained earlier — so a checkpoint taken afterwards stamped
+    a tick no event ever reached."""
+
+    def test_clock_stays_at_drain_time(self, kernel):
+        def p():
+            yield kernel.timeout(10)
+
+        kernel.process(p())
+        kernel.run(until=1000)
+        assert kernel.now == 10  # not 1000
+
+    def test_clock_advances_to_until_when_work_remains(self, kernel):
+        kernel.timeout(10)
+        kernel.timeout(2000)
+        kernel.run(until=1000)
+        assert kernel.now == 1000
+        assert kernel.peek() == 2000
+
+    def test_until_in_past_raises(self, kernel):
+        kernel.timeout(5)
+        kernel.run()
+        with pytest.raises(SimError, match="in the past"):
+            kernel.run(until=2)
+
+    def test_resume_after_early_stop(self, kernel):
+        order = []
+
+        def p():
+            yield kernel.timeout(10)
+            order.append(kernel.now)
+            yield kernel.timeout(2000)
+            order.append(kernel.now)
+
+        kernel.process(p())
+        kernel.run(until=1000)
+        assert kernel.now == 1000
+        kernel.run()
+        assert order == [10, 2010]
+
+    def test_spawn_after_early_stop(self, kernel):
+        """New work scheduled below the stopped scan point — on the
+        calendar this pushes below the advanced cursor and must rewind."""
+        hits = []
+
+        def late():
+            yield kernel.timeout(2000)
+            hits.append(kernel.now)
+
+        kernel.process(late())
+        kernel.run(until=1000)
+        assert kernel.now == 1000
+
+        def early():
+            yield kernel.timeout(5)
+            hits.append(kernel.now)
+
+        kernel.process(early())
+        kernel.run()
+        assert hits == [1005, 2000]
+
+
+# ---------------------------------------------------------------------------
+# property: pooled Timeouts are indistinguishable from fresh ones
+# ---------------------------------------------------------------------------
+
+_churn_ops = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 7)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_churn_ops, st.integers(0, 5), st.booleans())
+def test_recycled_timeout_indistinguishable_from_fresh(ops, delay, use_value):
+    """Drive the pool through varied lifecycles — plain fires, waited
+    timeouts, interrupted waits, failed events, held survivors — then
+    check the next factory timeout against a from-scratch construction."""
+    k = SimKernel()
+    for kind, d in ops:
+        if kind == 0:
+            k.timeout(d, value=("plain", d))
+        elif kind == 1:
+            def sleep(d=d):
+                try:
+                    yield k.timeout(d)
+                except Interrupt:
+                    pass
+
+            proc = k.process(sleep())
+            if d % 2:
+                proc.interrupt(cause="churn")
+        elif kind == 2:
+            ev = k.event()
+
+            def wait(ev=ev):
+                try:
+                    yield ev
+                except RuntimeError:
+                    pass
+
+            k.process(wait())
+            if d % 2:
+                ev.fail(RuntimeError("churn"))
+            else:
+                ev.succeed(value=d)
+        else:
+            k.timeout(d, value="held").hold()  # never recycled
+        k.run()
+
+    value = ("fresh", delay) if use_value else None
+    pooled = k.timeout(delay, value)
+    fresh = Timeout(SimKernel(), delay, value)
+    assert type(pooled) is Timeout
+    for attr in ("delay", "_value", "_ok", "_triggered", "_processed"):
+        assert getattr(pooled, attr) == getattr(fresh, attr), attr
+    assert pooled.callbacks == []
+    assert pooled._holds == 0  # factory events are kernel-owned
+
+
+def test_pooled_timeout_rejects_negative_delay(kernel):
+    kernel.timeout(1)
+    kernel.run()
+    assert kernel._timeout_pool  # the pooled path is the one under test
+    with pytest.raises(SimError, match="negative"):
+        kernel.timeout(-1)

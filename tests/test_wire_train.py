@@ -1,0 +1,145 @@
+"""The wire-train contract: DES pipeline == folded path == closed form.
+
+Three parties must agree tick-exactly on a back-to-back message train
+(:mod:`repro.workloads.train`):
+
+- the **reference machinery** — per-message generator processes walking
+  every pipeline hop (``REPRO_NO_FOLD`` / ``fastpath.fold_forced(False)``);
+- the **folded delivery path** — the callback chains in
+  :mod:`repro.ib.hca` that replace those processes (the default);
+- the **closed form** — :func:`repro.workloads.train.analytic_period_ticks`
+  built on :meth:`repro.ib.link.IBLink.train_ns`.
+
+And both schedulers must dispatch the whole thing identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import fastpath
+from repro.engine import SCHEDULERS, SimKernel, set_default_scheduler
+from repro.ib.link import IBLink, LinkConfig
+from repro.workloads.train import run_train
+
+
+# ---------------------------------------------------------------------------
+# IBLink.train_ns: the closed-form wire half
+# ---------------------------------------------------------------------------
+
+
+class TestTrainNs:
+    def test_is_count_times_serialization(self):
+        link = IBLink(LinkConfig())
+        for nbytes in (0, 1, 1024, 2048, 2049, 65536):
+            one = link.serialization_ns(nbytes)
+            assert link.train_ns(nbytes, 1) == one
+            assert link.train_ns(nbytes, 7) == pytest.approx(7 * one)
+        assert link.train_ns(1024, 0) == 0.0
+
+    def test_negative_count_rejected(self):
+        link = IBLink(LinkConfig())
+        with pytest.raises(ValueError, match="negative message count"):
+            link.train_ns(1024, -1)
+
+    def test_zero_byte_train_pays_packet_floor(self):
+        # a train of headers is still a train of packets, never free
+        link = IBLink(LinkConfig())
+        assert link.train_ns(0, 5) == 5 * link.config.packet_ns
+
+
+# ---------------------------------------------------------------------------
+# the tick-exact pin: simulated train vs analytic period
+# ---------------------------------------------------------------------------
+
+
+class TestClosedFormPin:
+    """With ``window=1`` the pipeline is strictly sequential, so train
+    *differences* cancel the cold-ATT first message and the steady state
+    must march at exactly ``analytic_period_ticks`` per message."""
+
+    @pytest.mark.parametrize("msg_bytes", [64, 1024, 4096])
+    def test_steady_state_period_matches_analytic(self, msg_bytes):
+        base = run_train(msg_bytes=msg_bytes, count=1, window=1)
+        longer = run_train(msg_bytes=msg_bytes, count=6, window=1)
+        assert longer.analytic_period_ticks == base.analytic_period_ticks
+        assert (
+            longer.total_ticks - base.total_ticks
+            == 5 * base.analytic_period_ticks
+        )
+
+    def test_period_is_positive_and_linear(self):
+        r3 = run_train(msg_bytes=1024, count=3, window=1)
+        r5 = run_train(msg_bytes=1024, count=5, window=1)
+        assert r3.analytic_period_ticks > 0
+        assert r5.total_ticks - r3.total_ticks == 2 * r3.analytic_period_ticks
+
+    def test_counters_see_every_message(self):
+        res = run_train(msg_bytes=512, count=9, window=4)
+        assert res.tx_messages == 9
+        assert res.rx_messages == 9
+        assert res.ticks_per_msg == res.total_ticks / 9
+
+
+# ---------------------------------------------------------------------------
+# identity: fold vs process machinery, heap vs calendar
+# ---------------------------------------------------------------------------
+
+def _train_signature(**kwargs):
+    res = run_train(**kwargs)
+    return (res.total_ticks, res.tx_messages, res.rx_messages)
+
+
+class TestIdentity:
+    def test_fold_matches_process_machinery(self):
+        kwargs = dict(msg_bytes=2048, count=40, window=8)
+        with fastpath.fold_forced(True):
+            folded = _train_signature(**kwargs)
+        with fastpath.fold_forced(False):
+            reference = _train_signature(**kwargs)
+        assert folded == reference
+
+    def test_fold_matches_on_reference_costing_path(self):
+        # folding is orthogonal to the fast/reference costing switch:
+        # it must hold on both
+        kwargs = dict(msg_bytes=1024, count=25, window=4)
+        with fastpath.forced(False):
+            with fastpath.fold_forced(True):
+                folded = _train_signature(**kwargs)
+            with fastpath.fold_forced(False):
+                reference = _train_signature(**kwargs)
+        assert folded == reference
+
+    def test_schedulers_agree_on_the_train(self):
+        kwargs = dict(msg_bytes=1024, count=40, window=16)
+        signatures = {}
+        prior = SimKernel().scheduler_kind
+        try:
+            for kind in sorted(SCHEDULERS):
+                set_default_scheduler(kind)
+                signatures[kind] = _train_signature(**kwargs)
+        finally:
+            set_default_scheduler(prior)
+        assert signatures["heap"] == signatures["calendar"]
+
+    def test_window_only_overlaps_never_reorders(self):
+        # more window = more overlap = fewer total ticks, same messages
+        narrow = run_train(msg_bytes=1024, count=30, window=1)
+        wide = run_train(msg_bytes=1024, count=30, window=16)
+        assert wide.total_ticks < narrow.total_ticks
+        assert (wide.tx_messages, wide.rx_messages) == (30, 30)
+
+
+# ---------------------------------------------------------------------------
+# argument validation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [dict(msg_bytes=0), dict(count=0), dict(window=0)],
+    ids=["msg_bytes", "count", "window"],
+)
+def test_run_train_rejects_degenerate_arguments(kwargs):
+    with pytest.raises(ValueError, match="must be >= 1"):
+        run_train(**kwargs)

@@ -52,6 +52,14 @@ caused exactly that:
     ``sys.intern`` on an argument that is not provably ``str`` —
     it raises ``TypeError`` on ``str`` subclasses, which routinely
     arrive from deserialisers.  Normalise with ``str(...)`` first.
+``refcount-probe``
+    Any use of ``sys.getrefcount`` (call or import).  Refcounts are an
+    interpreter implementation detail — they shift with closure cells,
+    debugger frames, C extensions and CPython version, so logic keyed
+    on them is nondeterministic by construction.  The event kernel once
+    recycled pooled events when ``getrefcount(ev) == 2`` and corrupted
+    any event a callback had stashed; ownership must be explicit
+    (``Event.hold``/``release``), never inferred from the interpreter.
 
 Any finding can be suppressed on its line with ``# detlint: ignore``
 (all rules) or ``# detlint: ignore[rule,...]`` (listed rules only) —
@@ -92,6 +100,8 @@ RULES: Dict[str, str] = {
                  "socket.socket, ...)",
     "mutable-class-attr": "mutable literal shared as a class attribute",
     "intern-str": "sys.intern on an argument not provably str",
+    "refcount-probe": "sys.getrefcount use; refcounts are interpreter "
+                      "details, never simulation state",
 }
 
 #: calls that read the host clock or calendar
@@ -238,6 +248,12 @@ class _Linter(ast.NodeVisitor):
                                f"{dotted}() draws from numpy's global RNG "
                                f"(or is unseeded); use a seeded "
                                f"default_rng(seed)")
+            elif dotted in ("sys.getrefcount", "getrefcount"):
+                self._flag(node, "refcount-probe",
+                           "refcounts shift with closure cells, debuggers "
+                           "and C extensions; own objects explicitly "
+                           "(Event.hold/release), never by counting "
+                           "references")
             elif dotted in ("sys.intern", "intern") and node.args:
                 if not _is_str_expr(node.args[0]):
                     self._flag(node, "intern-str",
@@ -270,6 +286,16 @@ class _Linter(ast.NodeVisitor):
                                 and _is_float_expr(elt.elts[1]):
                             self._flag(elt, "float-counter",
                                        "float amount in add_many pair")
+
+    # -- refcount probes smuggled in via import -----------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "sys":
+            for alias in node.names:
+                if alias.name == "getrefcount":
+                    self._flag(node, "refcount-probe",
+                               "importing sys.getrefcount; refcounts are "
+                               "interpreter details, never simulation state")
+        self.generic_visit(node)
 
     # -- iteration over unordered sets --------------------------------------
     def visit_For(self, node: ast.For) -> None:
