@@ -496,6 +496,8 @@ def restore_cluster(payload: dict):
                 qstate["pd"],
                 cq_map.get(qstate["send_cq_id"]),
                 cq_map.get(qstate["recv_cq_id"]),
+                max_sge=qstate["max_sge"],
+                max_send_wr=qstate["max_send_wr"],
             )
             node.hca._qps.pop(qp.qp_num, None)
             qp.qp_num = qstate["qp_num"]
@@ -510,7 +512,6 @@ def restore_cluster(payload: dict):
             qp.retry_cnt = qstate["retry_cnt"]
             qp.rnr_retry = qstate["rnr_retry"]
             qp.ack_timeout_ns = qstate["ack_timeout_ns"]
-            qp.max_sge = qstate["max_sge"]
             qp.wr_slots._in_use = qstate["wr_in_use"]
             qp.peer_qp_num = qstate["peer_qp_num"]
             if qstate["peer_node"] is not None:

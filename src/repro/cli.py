@@ -75,6 +75,7 @@ import argparse
 import contextlib
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 KB = 1024
@@ -590,6 +591,32 @@ def _cmd_serve(args) -> None:
         raise SystemExit(code)
 
 
+def _cmd_lint(args) -> None:
+    """Run the determinism lint (``repro lint``): the per-line detlint
+    rules plus the simlint whole-program passes, against ``src/repro``
+    by default.  Exit 0 clean, 1 findings, 2 bad invocation — the same
+    contract as ``python tools/simlint``."""
+    root = Path(__file__).resolve().parents[2]
+    tools = root / "tools"
+    if not (tools / "simlint" / "__init__.py").exists():
+        print("error: lint: tools/simlint not found (repro lint runs "
+              "from a source checkout)", file=sys.stderr)
+        raise SystemExit(2)
+    if str(tools) not in sys.path:
+        sys.path.insert(0, str(tools))
+    from simlint.cli import main as simlint_main
+
+    argv = list(args.lint_paths) or [str(root / "src" / "repro")]
+    argv += ["--format", args.lint_format]
+    rc = simlint_main(argv)
+    if rc == 1:
+        raise SystemExit(1)
+    if rc:
+        print("error: lint: invalid invocation (see messages above)",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _cmd_trace(args) -> None:
     """Run a figure driver with tracing on (``repro trace fig5``);
     ``nas`` is an alias for ``fig6``."""
@@ -716,6 +743,7 @@ COMMANDS = {
     "sanitize": (_cmd_sanitize, "run a figure driver under the sanitizer"),
     "batch": (_cmd_batch, "crash-tolerant batch runner for a JSON specfile"),
     "serve": (_cmd_serve, "crash-tolerant HTTP experiment service"),
+    "lint": (_cmd_lint, "determinism lint: detlint rules + simlint passes"),
 }
 
 
@@ -762,6 +790,14 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "breakdown":
             p.add_argument("--mb", type=float, default=4.0,
                            help="message size in MB")
+        if name == "lint":
+            p.add_argument("lint_paths", nargs="*", default=[],
+                           metavar="PATH",
+                           help="files or package directories to lint "
+                                "(default: this checkout's src/repro)")
+            p.add_argument("--format", dest="lint_format",
+                           choices=["text", "json"], default="text",
+                           help="finding output format (default: text)")
         if name in ("fig5", "pingpong", "faults", "trace", "sanitize"):
             default_plan = "link_loss=0.01" if name == "faults" else None
             p.add_argument("--fault-plan", dest="fault_plan",

@@ -218,7 +218,7 @@ SCHEDULERS = {
 }
 
 
-def make_scheduler(kind: str):
+def make_scheduler(kind: str) -> HeapScheduler | CalendarScheduler:
     """Instantiate a scheduler by registry name."""
     try:
         return SCHEDULERS[kind]()

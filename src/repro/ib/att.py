@@ -37,7 +37,7 @@ class ATTConfig:
     entries: int = 64
     fetch_ns: float = 250.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.entries < 1:
             raise ValueError("ATT cache needs at least one entry")
         if self.fetch_ns < 0:

@@ -58,7 +58,7 @@ class BusConfig:
     unaligned_fixup_ns: float = 170.0
     sweet_offset_bonus_ns: float = 180.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.bandwidth_mb_s <= 0:
             raise ValueError("bus bandwidth must be positive")
         if self.burst_bytes <= 0 or self.burst_bytes & (self.burst_bytes - 1):

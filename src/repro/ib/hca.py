@@ -57,18 +57,20 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Generator, Optional, Set, Tuple
+from typing import (Any, Callable, Dict, Generator, Optional, Sequence,
+                    Set, Tuple)
 
 from repro import fastpath, sanitize, trace
 from repro.analysis.counters import CounterSet
 from repro.engine.clock import TickClock
-from repro.engine.core import NORMAL, SimKernel
+from repro.engine.core import NORMAL, Event, SimKernel
 from repro.faults import FaultInjector
 from repro.ib.att import ATTCache
 from repro.ib.bus import BusModel
 from repro.ib.link import IBLink
 from repro.ib.registration import RegistrationEngine
 from repro.ib.verbs import (
+    SGE,
     CompletionQueue,
     IBVerbsError,
     MemoryRegion,
@@ -298,10 +300,16 @@ class HCA:
 
     # -- QP lifecycle --------------------------------------------------------------
     def create_qp(
-        self, pd: ProtectionDomain, send_cq: CompletionQueue, recv_cq: CompletionQueue
+        self,
+        pd: ProtectionDomain,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        max_sge: int = 128,
+        max_send_wr: int = 128,
     ) -> QueuePair:
         """Create a QP and start its send engine."""
-        qp = QueuePair(self.kernel, pd, send_cq, recv_cq)
+        qp = QueuePair(self.kernel, pd, send_cq, recv_cq,
+                       max_sge=max_sge, max_send_wr=max_send_wr)
         if self.faults is not None:
             plan = self.faults.plan
             qp.retry_cnt = plan.retry_cnt
@@ -396,7 +404,8 @@ class HCA:
             yield from self._handle_send(qp, wr)
 
     # -- folded send pipeline (see "Event folding" in the module docstring) --
-    def _after(self, delay_ticks: int, callback) -> None:
+    def _after(self, delay_ticks: int,
+               callback: Callable[[Event], None]) -> None:
         """Schedule *callback* to run after *delay_ticks* (one event)."""
         ev = self.kernel.event()
         ev._triggered = True
@@ -851,7 +860,7 @@ class HCA:
         )
         qp.wr_slots.release()
 
-    def _scatter_ns(self, sges, payload_bytes: int) -> float:
+    def _scatter_ns(self, sges: Sequence[SGE], payload_bytes: int) -> float:
         """Bus-side cost of scattering an inbound message.
 
         Zero payload bytes scatter nothing (the header-only-message

@@ -34,7 +34,7 @@ class LinkConfig:
     #: of on every :meth:`IBLink.serialization_ns` call.
     ns_per_byte: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.payload_mb_s <= 0:
             raise ValueError("link bandwidth must be positive")
         if self.mtu_bytes <= 0:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro import fastpath, sanitize
 from repro.analysis.counters import CounterSet
@@ -36,6 +36,7 @@ from repro.ib.att import ATTCache
 from repro.ib.driver import OpenIBDriver
 from repro.ib.verbs import IBVerbsError, MemoryRegion, ProtectionDomain
 from repro.mem.address_space import AddressSpace
+from repro.mem.paging import PageTableEntry
 from repro.mem.physical import PAGE_2M, PAGE_4K
 
 _keys = itertools.count(0x1000)
@@ -167,7 +168,8 @@ class RegistrationEngine:
         return ns
 
     @staticmethod
-    def _pages_for(aspace: AddressSpace, vaddr: int, length: int):
+    def _pages_for(aspace: AddressSpace, vaddr: int,
+               length: int) -> List[PageTableEntry]:
         """Leaf entries covering the buffer: from the address space's
         VMA translation cache when possible, else a page-table walk."""
         if fastpath.enabled():

@@ -97,7 +97,7 @@ class SGE:
     length: int
     lkey: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.length < 0:
             raise IBVerbsError(
                 f"SGE length must be non-negative, got {self.length}")
@@ -123,7 +123,7 @@ class SendWR:
     rkey: int = 0
     payload: Any = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.opcode not in ("send", "rdma_write", "rdma_read"):
             raise IBVerbsError(f"unsupported opcode {self.opcode!r}")
         if not self.sges:
@@ -142,7 +142,7 @@ class RecvWR:
     wr_id: int
     sges: Sequence[SGE]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.sges:
             raise IBVerbsError("receive work request needs at least one SGE")
 

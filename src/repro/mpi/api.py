@@ -22,14 +22,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Generator, List,
+                    Optional, Sequence, Tuple)
 
-from repro.engine.core import Event, SimKernel
+from repro.engine.core import Event, Process, SimKernel
 from repro.engine.resources import Channel, Store
 from repro.faults import MPITransportError
 from repro.ib.verbs import (
     SGE,
     CompletionQueue,
+    MemoryRegion,
     ProtectionDomain,
     QueuePair,
     RecvWR,
@@ -41,6 +43,9 @@ from repro.mpi.datatypes import pack_sges
 from repro.mpi.profiler import MPIProfiler
 from repro.mpi.regcache import RegistrationCache
 from repro.systems.machine import Cluster, OSProcess
+
+if TYPE_CHECKING:
+    from repro.mem.access import AccessCost
 
 
 @dataclass(frozen=True)
@@ -63,7 +68,7 @@ class MPIConfig:
     #: "read" (receiver-pulls; one less control message)
     rndv_protocol: str = "write"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.eager_threshold > self.eager_buf_bytes:
             raise ValueError("eager threshold exceeds bounce buffer size")
         if self.rdma_threshold < self.eager_threshold:
@@ -198,7 +203,8 @@ class Endpoint:
         self.kernel.process(self._send_progress(), name=f"r{self.rank}-txprog")
         self._ready = True
 
-    def _post_eager_recv(self, qp: QueuePair, buf: int, mr) -> Generator:
+    def _post_eager_recv(self, qp: QueuePair, buf: int,
+                         mr: MemoryRegion) -> Generator:
         wr_id = self.next_wr_id()
         self._recv_slots[wr_id] = (buf, qp.qp_num, (qp, mr))
         wr = RecvWR(wr_id=wr_id, sges=[SGE(buf, self.config.eager_buf_bytes, mr.lkey)])
@@ -263,7 +269,7 @@ class Endpoint:
             )
 
     def send_packed(self, dest: int, tag: int, blocks: List[Tuple[int, int]],
-                    lkey_mr, payload: Any = None) -> Generator:
+                    lkey_mr: MemoryRegion, payload: Any = None) -> Generator:
         """Send a non-contiguous block list.
 
         With :attr:`MPIConfig.use_sge_pack` the blocks become one work
@@ -416,7 +422,7 @@ class Communicator:
         return results[1]
 
     def isend(self, dest: int, tag: int, size: int,
-              addr: Optional[int] = None, payload: Any = None):
+              addr: Optional[int] = None, payload: Any = None) -> Process:
         """Nonblocking send: returns a request (a DES process event);
         complete it with :meth:`wait`."""
         return self.kernel.process(
@@ -425,7 +431,7 @@ class Communicator:
         )
 
     def irecv(self, source: Optional[int] = None, tag: Optional[int] = None,
-              addr: Optional[int] = None):
+              addr: Optional[int] = None) -> Process:
         """Nonblocking receive: returns a request; :meth:`wait` yields
         ``(payload, size, src, tag)``."""
         return self.kernel.process(
@@ -433,14 +439,14 @@ class Communicator:
             name=f"r{self.rank}-irecv",
         )
 
-    def wait(self, request) -> Generator:
+    def wait(self, request: Process) -> Generator:
         """Complete one nonblocking request (MPI_Wait)."""
         t0 = self.kernel.now
         result = yield request
         self.profiler.record("MPI_Wait", self.kernel.now - t0)
         return result
 
-    def waitall(self, requests) -> Generator:
+    def waitall(self, requests: Sequence[Process]) -> Generator:
         """Complete several requests (MPI_Waitall); returns their
         results in order."""
         t0 = self.kernel.now
@@ -448,7 +454,8 @@ class Communicator:
         self.profiler.record("MPI_Waitall", self.kernel.now - t0)
         return results
 
-    def send_packed(self, dest: int, tag: int, blocks, mr,
+    def send_packed(self, dest: int, tag: int,
+                    blocks: List[Tuple[int, int]], mr: MemoryRegion,
                     payload: Any = None) -> Generator:
         """Send a non-contiguous block list (SGE or CPU pack per config)."""
         total = sum(n for _, n in blocks)
@@ -465,7 +472,7 @@ class Communicator:
             raise ValueError(f"negative compute time {ticks}")
         yield self.kernel.timeout(ticks)
 
-    def compute(self, cost) -> Generator:
+    def compute(self, cost: AccessCost) -> Generator:
         """Spend an :class:`~repro.mem.access.AccessCost` of computation."""
         yield self.kernel.timeout(cost.ticks)
 
@@ -518,7 +525,8 @@ class Communicator:
 
         return self._timed("MPI_Gather", gather(self, root, size, value), size)
 
-    def scatter(self, root: int, size: int, values=None) -> Generator:
+    def scatter(self, root: int, size: int,
+                values: Optional[List[Any]] = None) -> Generator:
         """MPI_Scatter; every rank returns its element."""
         from repro.mpi.collectives import scatter
 

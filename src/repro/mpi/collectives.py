@@ -12,7 +12,11 @@ back-to-back collectives cannot cross-match.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Generator, List, Optional
+from typing import (TYPE_CHECKING, Any, Callable, Generator, List,
+                    Optional)
+
+if TYPE_CHECKING:
+    from repro.mpi.api import Communicator
 
 # tag bases, far above user tags
 _BARRIER = 1 << 20
@@ -27,7 +31,7 @@ _SCAN = 9 << 20
 _EPOCH_STRIDE = 64  # rounds per epoch
 
 
-def _epoch(comm, counter_name: str) -> int:
+def _epoch(comm: Communicator, counter_name: str) -> int:
     counters = comm.__dict__.setdefault("_coll_epochs", {})
     seq = counters.setdefault(counter_name, itertools.count())
     return next(seq)
@@ -41,7 +45,7 @@ def _default_op(a: Any, b: Any) -> Any:
     return a + b
 
 
-def barrier(comm) -> Generator:
+def barrier(comm: Communicator) -> Generator:
     """Dissemination barrier: ceil(log2(n)) rounds of 1-byte exchanges."""
     size, rank = comm.size, comm.rank
     if size == 1:
@@ -62,7 +66,7 @@ def barrier(comm) -> Generator:
         k += 1
 
 
-def bcast(comm, root: int, size: int, payload: Any = None,
+def bcast(comm: Communicator, root: int, size: int, payload: Any = None,
           addr: Optional[int] = None) -> Generator:
     """Binomial-tree broadcast; returns the payload at every rank."""
     n, rank = comm.size, comm.rank
@@ -91,7 +95,7 @@ def bcast(comm, root: int, size: int, payload: Any = None,
     return value
 
 
-def reduce(comm, root: int, size: int, value: Any = None,
+def reduce(comm: Communicator, root: int, size: int, value: Any = None,
            op: Optional[Callable[[Any, Any], Any]] = None,
            addr: Optional[int] = None) -> Generator:
     """Binomial-tree reduction; returns the result at *root*."""
@@ -120,7 +124,7 @@ def reduce(comm, root: int, size: int, value: Any = None,
     return acc if rank == root else None
 
 
-def allreduce(comm, size: int, value: Any = None,
+def allreduce(comm: Communicator, size: int, value: Any = None,
               op: Optional[Callable[[Any, Any], Any]] = None,
               addr: Optional[int] = None) -> Generator:
     """Recursive-doubling allreduce (reduce+bcast for odd world sizes)."""
@@ -151,7 +155,7 @@ def allreduce(comm, size: int, value: Any = None,
     return acc
 
 
-def allgather(comm, size: int, value: Any = None,
+def allgather(comm: Communicator, size: int, value: Any = None,
               addr: Optional[int] = None) -> Generator:
     """Ring allgather; returns the list of per-rank values in rank order.
 
@@ -189,7 +193,7 @@ def allgather(comm, size: int, value: Any = None,
     return values
 
 
-def alltoallv(comm, sizes: List[int], payloads: Optional[List[Any]] = None,
+def alltoallv(comm: Communicator, sizes: List[int], payloads: Optional[List[Any]] = None,
               addrs: Optional[List[Optional[int]]] = None,
               recv_addrs: Optional[List[Optional[int]]] = None) -> Generator:
     """Pairwise-exchange alltoallv.
@@ -227,7 +231,7 @@ def alltoallv(comm, sizes: List[int], payloads: Optional[List[Any]] = None,
     return received
 
 
-def gather(comm, root: int, size: int, value: Any = None) -> Generator:
+def gather(comm: Communicator, root: int, size: int, value: Any = None) -> Generator:
     """Binomial-tree gather; the root returns the rank-ordered list of
     values, everyone else None."""
     n, rank = comm.size, comm.rank
@@ -256,7 +260,7 @@ def gather(comm, root: int, size: int, value: Any = None) -> Generator:
     return [bundle[(r - root) % n] for r in range(n)]
 
 
-def scatter(comm, root: int, size: int,
+def scatter(comm: Communicator, root: int, size: int,
             values: Optional[List[Any]] = None) -> Generator:
     """Binomial-tree scatter; every rank returns its element of the
     root's *values* list."""
@@ -294,7 +298,7 @@ def scatter(comm, root: int, size: int,
     return bundle[vrank]
 
 
-def scan(comm, size: int, value: Any = None,
+def scan(comm: Communicator, size: int, value: Any = None,
          op: Optional[Callable[[Any, Any], Any]] = None) -> Generator:
     """Inclusive prefix scan (MPI_Scan): rank r returns
     op(value_0, ..., value_r)."""

@@ -31,7 +31,7 @@ class PackedVector:
     block_bytes: int
     stride_bytes: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.count <= 0 or self.block_bytes <= 0:
             raise ValueError("vector needs positive count and block size")
         if self.stride_bytes < self.block_bytes:

@@ -13,14 +13,17 @@ so we only see memory registration effects for those buffers", §5.1).
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro import trace
 from repro.faults import MPITransportError
 from repro.ib.verbs import SGE, SendWR
 
+if TYPE_CHECKING:
+    from repro.mpi.api import Endpoint, Envelope
 
-def eager_send(endpoint, dest: int, tag: int, size: int, addr: Optional[int],
+
+def eager_send(endpoint: Endpoint, dest: int, tag: int, size: int, addr: Optional[int],
                payload: Any) -> Generator:
     """Send one eager message (size must fit a bounce buffer)."""
     tracer = trace.active()
@@ -32,13 +35,13 @@ def eager_send(endpoint, dest: int, tag: int, size: int, addr: Optional[int],
         yield from _eager_send_impl(endpoint, dest, tag, size, addr, payload)
 
 
-def _eager_send_impl(endpoint, dest: int, tag: int, size: int,
+def _eager_send_impl(endpoint: Endpoint, dest: int, tag: int, size: int,
                      addr: Optional[int], payload: Any) -> Generator:
     env = endpoint.make_envelope("eager", dest, tag, size, payload=payload)
     yield from send_through_bounce(endpoint, dest, env, size, addr)
 
 
-def send_through_bounce(endpoint, dest: int, env, wire_bytes: int,
+def send_through_bounce(endpoint: Endpoint, dest: int, env: Envelope, wire_bytes: int,
                         addr: Optional[int]) -> Generator:
     """Copy (if a source address is known) into a free bounce buffer and
     post one send WR carrying *env*; returns after local completion."""
@@ -73,12 +76,12 @@ def send_through_bounce(endpoint, dest: int, env, wire_bytes: int,
         endpoint.bounce_pool.put_nowait((buf_addr, mr))
 
 
-def send_ctrl(endpoint, dest: int, env) -> Generator:
+def send_ctrl(endpoint: Endpoint, dest: int, env: Envelope) -> Generator:
     """Send a small protocol control message (RTS/CTS/FIN)."""
     yield from send_through_bounce(endpoint, dest, env, endpoint.CTRL_BYTES, None)
 
 
-def copy_rendezvous_send(endpoint, dest: int, tag: int, size: int,
+def copy_rendezvous_send(endpoint: Endpoint, dest: int, tag: int, size: int,
                          addr: Optional[int], payload: Any) -> Generator:
     """RTS/CTS handshake, then the payload chunked through bounce bufs."""
     tracer = trace.active()
@@ -94,7 +97,7 @@ def copy_rendezvous_send(endpoint, dest: int, tag: int, size: int,
         )
 
 
-def _copy_rendezvous_send_impl(endpoint, dest: int, tag: int, size: int,
+def _copy_rendezvous_send_impl(endpoint: Endpoint, dest: int, tag: int, size: int,
                                addr: Optional[int], payload: Any) -> Generator:
     rndv = endpoint.next_rndv_id()
     rts = endpoint.make_envelope("rts", dest, tag, size, rndv=rndv)
@@ -114,7 +117,7 @@ def _copy_rendezvous_send_impl(endpoint, dest: int, tag: int, size: int,
         offset += this
 
 
-def copy_rendezvous_recv(endpoint, env, addr: Optional[int]) -> Generator:
+def copy_rendezvous_recv(endpoint: Endpoint, env: Envelope, addr: Optional[int]) -> Generator:
     """Receiver half of the copy rendezvous; returns the payload."""
     tracer = trace.active()
     if tracer is None:
@@ -124,7 +127,7 @@ def copy_rendezvous_recv(endpoint, env, addr: Optional[int]) -> Generator:
         return (yield from _copy_rendezvous_recv_impl(endpoint, env, addr))
 
 
-def _copy_rendezvous_recv_impl(endpoint, env, addr: Optional[int]) -> Generator:
+def _copy_rendezvous_recv_impl(endpoint: Endpoint, env: Envelope, addr: Optional[int]) -> Generator:
     cts = endpoint.make_envelope("cts", env.src, env.tag, env.size, rndv=env.rndv)
     yield from send_ctrl(endpoint, env.src, cts)
     remaining = env.size
@@ -145,7 +148,7 @@ def _copy_rendezvous_recv_impl(endpoint, env, addr: Optional[int]) -> Generator:
     return payload
 
 
-def eager_recv_copy_out(endpoint, env, addr: Optional[int]) -> Generator:
+def eager_recv_copy_out(endpoint: Endpoint, env: Envelope, addr: Optional[int]) -> Generator:
     """Charge the receiver-side copy from the bounce to the user buffer."""
     tracer = trace.active()
     if tracer is None:
@@ -155,7 +158,7 @@ def eager_recv_copy_out(endpoint, env, addr: Optional[int]) -> Generator:
         return (yield from _eager_recv_copy_out_impl(endpoint, env, addr))
 
 
-def _eager_recv_copy_out_impl(endpoint, env, addr: Optional[int]) -> Generator:
+def _eager_recv_copy_out_impl(endpoint: Endpoint, env: Envelope, addr: Optional[int]) -> Generator:
     if addr is not None and env.size > 0:
         cost = endpoint.proc.engine.stream(addr, env.size, write=True)
         yield endpoint.kernel.timeout(cost.ticks)

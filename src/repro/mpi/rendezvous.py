@@ -30,15 +30,18 @@ the adapter's ATT behaviour during the transfer.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import TYPE_CHECKING, Any, Generator
 
 from repro import trace
 from repro.faults import MPITransportError
 from repro.ib.verbs import SGE, SendWR
+
+if TYPE_CHECKING:
+    from repro.mpi.api import Endpoint, Envelope
 from repro.mpi.eager import send_ctrl
 
 
-def rdma_rendezvous_send(endpoint, dest: int, tag: int, size: int,
+def rdma_rendezvous_send(endpoint: Endpoint, dest: int, tag: int, size: int,
                          addr: int, payload: Any) -> Generator:
     """Sender half (see module docstring); *addr* must be a real mapped
     buffer — the RDMA path cannot send from nowhere."""
@@ -57,7 +60,7 @@ def rdma_rendezvous_send(endpoint, dest: int, tag: int, size: int,
         )
 
 
-def _rdma_rendezvous_send_impl(endpoint, dest: int, tag: int, size: int,
+def _rdma_rendezvous_send_impl(endpoint: Endpoint, dest: int, tag: int, size: int,
                                addr: int, payload: Any) -> Generator:
     rndv = endpoint.next_rndv_id()
     rts = endpoint.make_envelope("rts", dest, tag, size, rndv=rndv)
@@ -91,7 +94,7 @@ def _rdma_rendezvous_send_impl(endpoint, dest: int, tag: int, size: int,
     yield from send_ctrl(endpoint, dest, fin)
 
 
-def rdma_rendezvous_recv(endpoint, env, addr: int) -> Generator:
+def rdma_rendezvous_recv(endpoint: Endpoint, env: Envelope, addr: int) -> Generator:
     """Receiver half; *addr* is the user receive buffer (required)."""
     if addr is None:
         raise ValueError(
@@ -106,7 +109,7 @@ def rdma_rendezvous_recv(endpoint, env, addr: int) -> Generator:
         return (yield from _rdma_rendezvous_recv_impl(endpoint, env, addr))
 
 
-def _rdma_rendezvous_recv_impl(endpoint, env, addr: int) -> Generator:
+def _rdma_rendezvous_recv_impl(endpoint: Endpoint, env: Envelope, addr: int) -> Generator:
     mr = yield from endpoint.regcache.acquire(addr, env.size)
     cts = endpoint.make_envelope(
         "cts", env.src, env.tag, env.size, rndv=env.rndv,
@@ -119,7 +122,7 @@ def _rdma_rendezvous_recv_impl(endpoint, env, addr: int) -> Generator:
     return payload
 
 
-def rdma_read_rendezvous_send(endpoint, dest: int, tag: int, size: int,
+def rdma_read_rendezvous_send(endpoint: Endpoint, dest: int, tag: int, size: int,
                               addr: int, payload: Any) -> Generator:
     """Sender half of the read rendezvous: expose the buffer, announce
     it in the RTS, wait for the receiver's FIN."""
@@ -138,7 +141,7 @@ def rdma_read_rendezvous_send(endpoint, dest: int, tag: int, size: int,
         )
 
 
-def _rdma_read_rendezvous_send_impl(endpoint, dest: int, tag: int, size: int,
+def _rdma_read_rendezvous_send_impl(endpoint: Endpoint, dest: int, tag: int, size: int,
                                     addr: int, payload: Any) -> Generator:
     rndv = endpoint.next_rndv_id()
     mr = yield from endpoint.regcache.acquire(addr, size)
@@ -151,7 +154,7 @@ def _rdma_read_rendezvous_send_impl(endpoint, dest: int, tag: int, size: int,
     yield from endpoint.regcache.release(mr)
 
 
-def rdma_read_rendezvous_recv(endpoint, env, addr: int) -> Generator:
+def rdma_read_rendezvous_recv(endpoint: Endpoint, env: Envelope, addr: int) -> Generator:
     """Receiver half: pull the announced buffer with one RDMA read."""
     if addr is None:
         raise ValueError(
@@ -166,7 +169,7 @@ def rdma_read_rendezvous_recv(endpoint, env, addr: int) -> Generator:
         return (yield from _rdma_read_rendezvous_recv_impl(endpoint, env, addr))
 
 
-def _rdma_read_rendezvous_recv_impl(endpoint, env, addr: int) -> Generator:
+def _rdma_read_rendezvous_recv_impl(endpoint: Endpoint, env: Envelope, addr: int) -> Generator:
     mr = yield from endpoint.regcache.acquire(addr, env.size)
     qp = endpoint.qp_for(env.src)
     wr_id = endpoint.next_wr_id()

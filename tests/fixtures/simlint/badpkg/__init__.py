@@ -1,0 +1,7 @@
+"""Known-bad fixture package for the simlint whole-program passes.
+
+Every module plants exactly the defect class its name says.  The CI
+lint job runs simlint against this package as a self-test: the gate
+only counts if it still fires on known violations (exit 1 with the
+expected finding ids), not just on an already-clean tree.
+"""

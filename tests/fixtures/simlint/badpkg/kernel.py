@@ -1,0 +1,24 @@
+"""A miniature kernel so the fixture's sim context is self-contained."""
+
+
+class Event:
+    def __init__(self):
+        self.callbacks = []
+        self._holds = 0
+
+    def hold(self):
+        self._holds += 1
+
+    def release(self):
+        self._holds -= 1
+
+
+class SimKernel:
+    def __init__(self):
+        self.now = 0
+
+    def event(self):
+        return Event()
+
+    def timeout(self, ticks):
+        return Event()

@@ -1,0 +1,17 @@
+"""Planted counter-key typo: one registered key, one edit-distance-1
+near miss, one wholly unknown key."""
+
+
+class _Counters:
+    def add(self, name, amount=1):
+        pass
+
+
+class Engine:
+    def __init__(self):
+        self.counters = _Counters()
+
+    def tick(self):
+        self.counters.add("fx.ticks")          # registered
+        self.counters.add("fx.tocks")          # VIOLATION: typo of fx.ticks
+        self.counters.add("fx.unheard_of")     # VIOLATION: unregistered

@@ -1,0 +1,16 @@
+"""Planted checkpoint-coverage gap: ``Widget.depth`` is captured but
+never restored, and ``Widget.scratch`` is never captured at all."""
+
+
+class Widget:
+    def __init__(self, depth):
+        self.depth = depth
+        self.items = []
+        self.scratch = {}  # VIOLATION: never captured
+
+    def dump_state(self):
+        return {"depth": self.depth, "items": list(self.items)}
+
+    def load_state(self, state):
+        # VIOLATION: "depth" is captured but never written back
+        self.items = list(state["items"])

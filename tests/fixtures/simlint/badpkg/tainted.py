@@ -1,0 +1,24 @@
+"""Planted host-taint flow: a wall-clock read travels through an
+assignment and a helper's return value into a sim-context call."""
+
+import time
+
+from badpkg.kernel import SimKernel
+
+
+def host_deadline():
+    # host-only value: fine to read...
+    started = time.monotonic()
+    return started
+
+
+def schedule_warmup(kernel: SimKernel, delay):
+    # ...sim-context: calls a kernel primitive
+    ev = kernel.timeout(delay)
+    return ev
+
+
+def boot(kernel: SimKernel):
+    budget = host_deadline()
+    # VIOLATION: host clock value parameterises the simulated timeline
+    schedule_warmup(kernel, budget)

@@ -1,0 +1,48 @@
+"""Planted ownership imbalances: an acquire through a direct callee
+that an early-return path never releases, and a pin helper one caller
+path never unpins."""
+
+from badpkg.kernel import Event
+
+
+def _grab(ev: Event):
+    # helper applying a uniform +1 to its parameter: the pass inlines
+    # this one level deep at each call site
+    ev.hold()
+
+
+def balanced(ev: Event):
+    # negative control: acquire/release paired through try/finally
+    ev.hold()
+    try:
+        return ev
+    finally:
+        ev.release()
+
+
+def forgets_on_error(ev: Event, ok):
+    _grab(ev)
+    if not ok:
+        # VIOLATION: early normal return without releasing
+        return None
+    ev.release()
+    return True
+
+
+class PinTable:
+    def __init__(self):
+        self.pins = {}
+
+    def _pin(self, mr):
+        self.pins[mr] = self.pins.get(mr, 0) + 1
+
+    def _unpin(self, mr):
+        self.pins[mr] -= 1
+
+    def borrow(self, mr, cached):
+        # VIOLATION: pinned on both paths, unpinned on one
+        self._pin(mr)
+        if cached:
+            self._unpin(mr)
+            return None
+        return True

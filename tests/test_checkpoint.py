@@ -238,6 +238,25 @@ class TestClusterRestore:
         restore_cluster(snap)
         assert _count_next(verbs._ids) == at_capture
 
+    def test_restored_qp_keeps_send_queue_depth(self):
+        """Regression (found by simlint checkpoint-coverage): restore
+        rebuilt every QP with the default send-queue depth, so a QP
+        checkpointed with a small ``max_send_wr`` resumed with 128
+        slots and stopped back-pressuring where the original blocked."""
+        cluster, (a, pa, buf_a, pd_a, qa), _bside, cqs = _verbs_pair(None)
+        cluster.kernel.run()
+        # a supported configuration: a shallow send queue, as exercised
+        # by the QP-depth sweep in test_ft_and_qp_depth
+        qa.max_send_wr = 2
+        qa.wr_slots.capacity = 2
+        assert is_quiescent(cluster)
+        snap = capture_cluster(cluster)
+        restored = restore_cluster(snap)
+        rqa = restored.nodes[0].hca._qps[qa.qp_num]
+        assert rqa.max_send_wr == 2
+        assert rqa.wr_slots.capacity == 2
+        assert rqa.max_sge == qa.max_sge
+
 
 # ---------------------------------------------------------------------------
 # the run ledger

@@ -372,6 +372,16 @@ def _bad_batch(tmp_path):
     return ["batch", str(spec), "--out-dir", str(tmp_path / "out")]
 
 
+def _clean_lint(tmp_path):
+    mod = tmp_path / "spotless.py"
+    mod.write_text("def double(ticks):\n    return ticks * 2\n")
+    return ["lint", str(mod)]
+
+
+def _bad_lint(tmp_path):
+    return ["lint", str(tmp_path / "no-such-tree")]
+
+
 _CONTRACT = [
     ("fig5", _clean_fig5, _bad_fig5),
     ("fig6", _clean_fig6, _bad_fig6),
@@ -380,6 +390,7 @@ _CONTRACT = [
     ("sanitize", _clean_sanitize, _bad_sanitize),
     ("resume", _clean_resume, _bad_resume),
     ("batch", _clean_batch, _bad_batch),
+    ("lint", _clean_lint, _bad_lint),
 ]
 
 
@@ -418,3 +429,11 @@ class TestExitCodeContract:
         err = capsys.readouterr().err
         assert "sanitize[heap.use-after-free]" in err
         assert "Traceback" not in err
+
+    def test_lint_findings_exit_1(self, tmp_path, capsys):
+        mod = tmp_path / "wallclock.py"
+        mod.write_text("import time\n\ndef now():\n    return time.time()\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", str(mod)])
+        assert exc.value.code == 1
+        assert "wallclock" in capsys.readouterr().out

@@ -1,0 +1,18 @@
+"""Entry point for ``python tools/simlint``.
+
+Running a directory puts the directory itself on ``sys.path[0]``; the
+package imports itself absolutely (``import simlint.x``), so the
+*parent* directory (``tools/``) must be importable first.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS = str(Path(__file__).resolve().parent.parent)
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+from simlint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

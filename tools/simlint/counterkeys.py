@@ -1,0 +1,236 @@
+"""Pass ``counter-keys``: every counter name must be in the registry.
+
+:class:`repro.analysis.counters.CounterSet` is a stringly-typed API: a
+typo'd key (``hca.tx_mesages``) silently creates a fresh counter, the
+report shows a zero where data should be, and nothing ever fails.  This
+pass collects every key the tree can emit into a generated registry
+(``tools/simlint/counter_registry.json``) and then holds call sites to
+it: an unregistered literal key is a finding, and an unregistered key
+at edit distance 1 from a registered one is called out as a probable
+typo of that key.
+
+Key collection understands the three shapes the tree actually uses:
+
+- literal keys — ``counters.add("att.hit")`` and the tuple literals of
+  ``add_many((("prefetch.lines", n), ...))``;
+- f-string keys — ``f"alloc.{self.name}.malloc"`` becomes the pattern
+  ``alloc.*.malloc`` (matched with :func:`fnmatch.fnmatchcase`);
+- table keys — ``counters.add(SplitTLB._MISS_NAMES[sz])`` resolves the
+  class-level dict/mapping literal and registers its string values.
+
+Near-miss checking applies only to *unregistered* keys: the registry
+legitimately contains distance-1 pairs (``hca.tx_bytes`` /
+``hca.rx_bytes``), and flagging those would be pure noise.
+
+Regenerate the registry with ``python tools/simlint --update-counter-registry``
+after adding a counter; the diff of the committed registry is then the
+review surface for new keys.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from simlint.baseline import PassFinding
+from simlint.model import Project, dotted
+
+PASS_ID = "counter-keys"
+
+REGISTRY_FILE = "counter_registry.json"
+
+_COUNTER_RECV = re.compile(r"(^|\.)counters$")
+
+
+def _counter_call(node: ast.Call) -> Optional[str]:
+    """``"add"``/``"add_many"`` when *node* targets a CounterSet."""
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    if node.func.attr not in ("add", "add_many"):
+        return None
+    recv = dotted(node.func.value)
+    if recv is None or not _COUNTER_RECV.search(recv):
+        return None
+    return node.func.attr
+
+
+def _joinedstr_pattern(node: ast.JoinedStr) -> str:
+    parts: List[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            parts.append("*")
+    return "".join(parts)
+
+
+def _key_args(node: ast.Call, method: str) -> List[ast.expr]:
+    """The expressions used as counter names in this call."""
+    if method == "add":
+        return list(node.args[:1])
+    # add_many(pairs): a tuple/list literal of (name, amount) pairs
+    out: List[ast.expr] = []
+    for arg in node.args[:1]:
+        if isinstance(arg, (ast.Tuple, ast.List)):
+            for elt in arg.elts:
+                if isinstance(elt, (ast.Tuple, ast.List)) and elt.elts:
+                    out.append(elt.elts[0])
+    return out
+
+
+def _table_values(project: Project, module: str,
+                  expr: ast.Subscript) -> Optional[Set[str]]:
+    """String values of a class-level mapping literal indexed here,
+    e.g. ``SplitTLB._MISS_NAMES[sz]`` or ``self._HIT_NAMES[sz]``."""
+    base = dotted(expr.value)
+    if base is None or "." not in base:
+        return None
+    attr = base.rsplit(".", 1)[-1]
+    tree = project.modules.get(module)
+    if tree is None:
+        return None
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            name = target.id if isinstance(target, ast.Name) else (
+                target.attr if isinstance(target, ast.Attribute) else None)
+            if name != attr:
+                continue
+            values: Set[str] = set()
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Constant) and isinstance(
+                        sub.value, str):
+                    values.add(sub.value)
+            if values:
+                return values
+    return None
+
+
+def collect_keys(project: Project) -> Tuple[Set[str], Set[str]]:
+    """(exact keys, f-string patterns) emitted anywhere in the tree."""
+    keys: Set[str] = set()
+    patterns: Set[str] = set()
+    for module, tree in project.modules.items():
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            method = _counter_call(node)
+            if method is None:
+                continue
+            for arg in _key_args(node, method):
+                if isinstance(arg, ast.Constant) and isinstance(
+                        arg.value, str):
+                    keys.add(arg.value)
+                elif isinstance(arg, ast.JoinedStr):
+                    patterns.add(_joinedstr_pattern(arg))
+                elif isinstance(arg, ast.Subscript):
+                    table = _table_values(project, module, arg)
+                    if table:
+                        keys.update(table)
+    return keys, patterns
+
+
+def write_registry(project: Project, path: Path) -> Dict[str, List[str]]:
+    keys, patterns = collect_keys(project)
+    payload = {"keys": sorted(keys), "patterns": sorted(patterns)}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def load_registry(path: Path) -> Optional[Dict[str, List[str]]]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return {
+        "keys": [str(k) for k in payload.get("keys", [])],
+        "patterns": [str(p) for p in payload.get("patterns", [])],
+    }
+
+
+def _edit_distance_1(a: str, b: str) -> bool:
+    """True when a single insert/delete/substitute turns *a* into *b*."""
+    if a == b:
+        return False
+    la, lb = len(a), len(b)
+    if abs(la - lb) > 1:
+        return False
+    if la > lb:
+        a, b, la, lb = b, a, lb, la
+    # now la <= lb
+    i = 0
+    while i < la and a[i] == b[i]:
+        i += 1
+    if la == lb:
+        return a[i + 1:] == b[i + 1:]
+    return a[i:] == b[i + 1:]
+
+
+def _registered(key: str, keys: Set[str], patterns: List[str]) -> bool:
+    if key in keys:
+        return True
+    return any(fnmatchcase(key, p) for p in patterns)
+
+
+def run(project: Project,
+        registry: Optional[Dict[str, List[str]]]) -> List[PassFinding]:
+    if registry is None:
+        return [PassFinding(
+            pass_id=PASS_ID, path=f"tools/simlint/{REGISTRY_FILE}", line=0,
+            symbol="counter-registry",
+            message=("counter registry is missing or unreadable; "
+                     "regenerate it with --update-counter-registry"))]
+    keys = set(registry["keys"])
+    patterns = list(registry["patterns"])
+    findings: List[PassFinding] = []
+    for module, tree in project.modules.items():
+        path = project.module_paths[module]
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            method = _counter_call(node)
+            if method is None:
+                continue
+            for arg in _key_args(node, method):
+                key: Optional[str] = None
+                if isinstance(arg, ast.Constant) and isinstance(
+                        arg.value, str):
+                    key = arg.value
+                elif isinstance(arg, ast.JoinedStr):
+                    pat = _joinedstr_pattern(arg)
+                    if pat not in patterns:
+                        findings.append(PassFinding(
+                            pass_id=PASS_ID, path=path, line=arg.lineno,
+                            symbol=pat,
+                            message=(f"f-string counter key pattern "
+                                     f"{pat!r} is not in the registry; "
+                                     f"run --update-counter-registry")))
+                    continue
+                else:
+                    continue  # dynamic key: not statically checkable
+                if _registered(key, keys, patterns):
+                    continue
+                near = sorted(k for k in keys if _edit_distance_1(key, k))
+                if near:
+                    findings.append(PassFinding(
+                        pass_id=PASS_ID, path=path, line=arg.lineno,
+                        symbol=key,
+                        message=(f"counter key {key!r} is unregistered and "
+                                 f"one edit away from registered "
+                                 f"{near[0]!r} — probable typo")))
+                else:
+                    findings.append(PassFinding(
+                        pass_id=PASS_ID, path=path, line=arg.lineno,
+                        symbol=key,
+                        message=(f"counter key {key!r} is not in the "
+                                 f"registry; add the counter deliberately "
+                                 f"with --update-counter-registry")))
+    findings.sort(key=lambda f: (f.path, f.line, f.symbol))
+    return findings
